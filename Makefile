@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build vet test bench race cover experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/mpi/ ./internal/adios/ ./internal/live/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+cover:
+	$(GO) test -cover ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/oscillator-insitu
+	$(GO) run ./examples/adios-staging
+
+clean:
+	rm -rf frames bp-out cinema-store oscillator-frames phasta-frames leslie-frames nyx-frames live-frames

@@ -1,0 +1,776 @@
+// Package gosensei's benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation (run the cmd/experiments binary for
+// the full paper-style row output; these benches measure the underlying
+// kernels and pipelines), plus ablation benchmarks for the design choices
+// DESIGN.md calls out (zero-copy vs copying adaptors, binary-swap vs
+// direct-send compositing, SOA vs AOS access, FlexPath queue depth, PNG
+// compression levels, ghost blanking).
+//
+// Run:
+//
+//	go test -bench=. -benchmem .
+package gosensei
+
+import (
+	"bytes"
+	"fmt"
+	"image/png"
+	"os"
+	"sync"
+	"testing"
+
+	"gosensei/internal/adios"
+	"gosensei/internal/analysis"
+	"gosensei/internal/array"
+	"gosensei/internal/catalyst"
+	"gosensei/internal/colormap"
+	"gosensei/internal/compositing"
+	"gosensei/internal/core"
+	"gosensei/internal/experiments"
+	"gosensei/internal/extracts"
+	"gosensei/internal/freeproc"
+	"gosensei/internal/grid"
+	"gosensei/internal/iosim"
+	"gosensei/internal/leslie"
+	"gosensei/internal/libsim"
+	"gosensei/internal/machine"
+	"gosensei/internal/mpi"
+	"gosensei/internal/nyx"
+	"gosensei/internal/oscillator"
+	"gosensei/internal/phasta"
+	"gosensei/internal/render"
+)
+
+func benchOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.RealRanks = 4
+	o.RealCells = 16
+	o.RealSteps = 4
+	o.ImageW = 64
+	o.ImageH = 36
+	return o
+}
+
+// --- Figures 3/4: Original vs SENSEI Autocorrelation -----------------------
+
+func BenchmarkFig3Original(b *testing.B) {
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMiniapp(experiments.Original, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3SENSEIAutocorrelation(b *testing.B) {
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMiniapp(experiments.AutocorrelationCfg, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 5/6/7: the five miniapp configurations ------------------------
+
+func BenchmarkFig6Configurations(b *testing.B) {
+	opt := benchOptions()
+	for _, cfg := range []experiments.Configuration{
+		experiments.Baseline, experiments.HistogramCfg, experiments.AutocorrelationCfg,
+		experiments.CatalystSlice, experiments.LibsimSlice,
+	} {
+		cfg := cfg
+		b.Run(string(cfg), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunMiniapp(cfg, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figures 8/9: FlexPath staging ------------------------------------------
+
+func BenchmarkFig8FlexPathStaging(b *testing.B) {
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunADIOS(experiments.ADIOSHistogram, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 1 / Figure 10: write paths ---------------------------------------
+
+func BenchmarkTable1BlockFileWrite(b *testing.B) {
+	// The real write kernel behind the "VTK multi-file" path.
+	img := grid.NewImageData(grid.NewExtent3D(33, 33, 33))
+	img.Attributes(grid.CellData).Add(array.New[float64]("data", 1, 32*32*32))
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.SetBytes(32 * 32 * 32 * 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := iosim.WriteBlockFile(dir, 0, img, i, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1ModelEvaluation(b *testing.B) {
+	m := iosim.NewModel(machine.Cori().IO, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.WriteTime(iosim.FilePerProcess, 45440, 123<<30)
+		_ = m.WriteTime(iosim.CollectiveMPIIO, 45440, 123<<30)
+	}
+}
+
+func BenchmarkFig10BaselineWithIO(b *testing.B) {
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp("", "bench-fig10-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.RunBaselineWithIO(opt, dir); err != nil {
+			b.Fatal(err)
+		}
+		os.RemoveAll(dir)
+	}
+}
+
+// --- Figure 11: post hoc pipeline -------------------------------------------
+
+func BenchmarkFig11PosthocHistogram(b *testing.B) {
+	opt := benchOptions()
+	dir, err := os.MkdirTemp("", "bench-fig11-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if _, err := experiments.RunBaselineWithIO(opt, dir); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunPosthoc(dir, opt.RealRanks, 2, experiments.ADIOSHistogram, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 12: full in situ time to solution -------------------------------
+
+func BenchmarkFig12CatalystInSitu(b *testing.B) {
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMiniapp(experiments.CatalystSlice, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 2: PHASTA pipeline -----------------------------------------------
+
+func BenchmarkTable2PhastaSliceStep(b *testing.B) {
+	for _, size := range []struct{ w, h int }{{80, 20}, {290, 72}} {
+		size := size
+		b.Run(fmt.Sprintf("%dx%d", size.w, size.h), func(b *testing.B) {
+			opt := benchOptions()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := experiments.RunPHASTAReal(opt, size.w, size.h, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figures 15/16: AVF-LESLIE ----------------------------------------------
+
+func BenchmarkFig15LeslieSolverStep(b *testing.B) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		s, err := leslie.NewSolver(c, leslie.DefaultConfig(16), nil)
+		if err != nil {
+			return err
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := s.Step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFig15LibsimTMLSession(b *testing.B) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		s, err := leslie.NewSolver(c, leslie.DefaultConfig(16), nil)
+		if err != nil {
+			return err
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+		session := libsim.TMLSession("vorticity", [3]float64{0.1, 0.3, 0.5},
+			[3]float64{6.28, 6.28, 3.14})
+		session.Image.Width = 128
+		session.Image.Height = 128
+		a := libsim.NewAdaptor(c, session, libsim.Options{})
+		bridge := core.NewBridge(c, nil, nil)
+		bridge.AddAnalysis("libsim", a)
+		d := leslie.NewDataAdaptor(s)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.Update()
+			if _, err := bridge.Execute(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Figure 17: Nyx ----------------------------------------------------------
+
+func BenchmarkFig17NyxStep(b *testing.B) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		s, err := nyx.NewSim(c, nyx.DefaultConfig(16))
+		if err != nil {
+			return err
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := s.Step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFig17NyxHistogram(b *testing.B) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		s, err := nyx.NewSim(c, nyx.DefaultConfig(16))
+		if err != nil {
+			return err
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+		h := analysis.NewHistogram(c, "dark_matter_density", grid.CellData, 10)
+		d := nyx.NewDataAdaptor(s)
+		d.Update()
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := h.Execute(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// BenchmarkAblationAdaptorZeroCopyVsCopy isolates the paper's central design
+// choice: wrapping simulation memory versus deep-copying it in the adaptor.
+func BenchmarkAblationAdaptorZeroCopyVsCopy(b *testing.B) {
+	for _, forceCopy := range []bool{false, true} {
+		name := "zero-copy"
+		if forceCopy {
+			name = "copy"
+		}
+		forceCopy := forceCopy
+		b.Run(name, func(b *testing.B) {
+			err := mpi.Run(1, func(c *mpi.Comm) error {
+				sim, err := oscillator.NewSim(c, oscillator.Config{
+					GlobalCells: [3]int{32, 32, 32}, DT: 0.05, Steps: 1,
+					Oscillators: oscillator.DefaultDeck(32),
+				}, nil)
+				if err != nil {
+					return err
+				}
+				if err := sim.Step(); err != nil {
+					return err
+				}
+				d := oscillator.NewDataAdaptor(sim)
+				d.ForceCopy = forceCopy
+				d.Update()
+				b.ResetTimer()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					mesh, err := d.Mesh(false)
+					if err != nil {
+						return err
+					}
+					if err := d.AddArray(mesh, grid.CellData, "data"); err != nil {
+						return err
+					}
+					if err := d.ReleaseData(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCompositing contrasts the two compositing algorithms the
+// infrastructures use (Catalyst: binary swap; Libsim: direct send).
+func BenchmarkAblationCompositing(b *testing.B) {
+	for _, alg := range []compositing.Algorithm{compositing.BinarySwap, compositing.DirectSend} {
+		alg := alg
+		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				err := mpi.Run(4, func(c *mpi.Comm) error {
+					fb := render.NewFramebuffer(256, 256)
+					_, err := compositing.Composite(c, fb, 0, alg)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSOAvsAOS measures layout-dependent access cost through
+// the type-erased Array interface.
+func BenchmarkAblationSOAvsAOS(b *testing.B) {
+	n := 1 << 14
+	aosBuf := make([]float64, n*3)
+	planes := [][]float64{make([]float64, n), make([]float64, n), make([]float64, n)}
+	arrays := map[string]array.Array{
+		"aos": array.WrapAOS("v", 3, aosBuf),
+		"soa": array.WrapSOA("v", planes...),
+	}
+	for name, a := range arrays {
+		a := a
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				for t := 0; t < n; t++ {
+					sink += a.Value(t, i%3)
+				}
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkAblationFlexPathQueueDepth varies the staging queue depth: depth
+// 1 exposes reader backpressure; deeper queues decouple the groups at the
+// price of buffering.
+func BenchmarkAblationFlexPathQueueDepth(b *testing.B) {
+	for _, depth := range []int{1, 4} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fabric := adios.NewFabric(2, depth)
+				var wg sync.WaitGroup
+				wg.Add(2)
+				var werr, eerr error
+				go func() {
+					defer wg.Done()
+					werr = mpi.Run(2, func(c *mpi.Comm) error {
+						sim, err := oscillator.NewSim(c, oscillator.Config{
+							GlobalCells: [3]int{12, 12, 12}, DT: 0.05, Steps: 4,
+							Oscillators: oscillator.DefaultDeck(12),
+						}, nil)
+						if err != nil {
+							return err
+						}
+						w := adios.NewWriter(c, &adios.FlexPathTransport{Fabric: fabric})
+						d := oscillator.NewDataAdaptor(sim)
+						for s := 0; s < 4; s++ {
+							if err := sim.Step(); err != nil {
+								return err
+							}
+							d.Update()
+							if _, err := w.Execute(d); err != nil {
+								return err
+							}
+						}
+						return w.Finalize()
+					})
+				}()
+				go func() {
+					defer wg.Done()
+					_, eerr = adios.RunEndpoint(fabric, func(br *core.Bridge) error {
+						br.AddAnalysis("histogram", analysis.NewHistogram(br.Comm, "data", grid.CellData, 8))
+						return nil
+					})
+				}()
+				wg.Wait()
+				if werr != nil || eerr != nil {
+					b.Fatal(werr, eerr)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPNGCompression reproduces the Table 2 PNG finding as a
+// microbenchmark over the three interesting encoder settings.
+func BenchmarkAblationPNGCompression(b *testing.B) {
+	fb := render.NewFramebuffer(580, 145)
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		s, err := phasta.NewSolver(c, phasta.DefaultConfig(20))
+		if err != nil {
+			return err
+		}
+		s.Step()
+		a := catalyst.NewSliceAdaptor(c, catalyst.Options{
+			ArrayName: "velocity", Assoc: grid.PointData,
+			Width: fb.W, Height: fb.H, SliceAxis: 2, SliceCoord: 1,
+		})
+		bridge := core.NewBridge(c, nil, nil)
+		bridge.AddAnalysis("catalyst", a)
+		d := phasta.NewDataAdaptor(s)
+		d.Update()
+		_, err = bridge.Execute(d)
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels := map[string]png.CompressionLevel{
+		"default": png.DefaultCompression,
+		"none":    png.NoCompression,
+		"best":    png.BestCompression,
+	}
+	for name, lvl := range levels {
+		lvl := lvl
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var buf bytes.Buffer
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if _, err := render.WritePNG(&buf, fb, render.PNGOptions{Compression: lvl}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGhostBlanking measures the histogram with and without a
+// ghost array attached (the blanking branch in the inner loop).
+func BenchmarkAblationGhostBlanking(b *testing.B) {
+	n := 32 * 32 * 32
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i % 97)
+	}
+	gh := array.New[uint8](grid.GhostArrayName, 1, n)
+	for i := 0; i < n; i += 16 {
+		gh.Set(i, 0, 1)
+	}
+	cases := map[string]array.Array{"without-ghosts": nil, "with-ghosts": gh}
+	for name, ghost := range cases {
+		ghost := ghost
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = analysis.SerialHistogram(array.WrapAOS("data", 1, vals), ghost, 16)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCollectives measures the simulated MPI collectives that
+// every analysis leans on.
+func BenchmarkAblationCollectives(b *testing.B) {
+	for _, p := range []int{2, 8} {
+		p := p
+		b.Run(fmt.Sprintf("allreduce-p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				err := mpi.Run(p, func(c *mpi.Comm) error {
+					buf := make([]float64, 64)
+					out := make([]float64, 64)
+					return mpi.Allreduce(c, buf, out, mpi.OpSum)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCinemaExtractStep measures one Cinema database step (2 views x 1
+// isovalue) — the §2.2.4 explorable-extract workload.
+func BenchmarkCinemaExtractStep(b *testing.B) {
+	dir := b.TempDir()
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		sim, err := oscillator.NewSim(c, oscillator.Config{
+			GlobalCells: [3]int{16, 16, 16}, DT: 0.05, Steps: 1,
+			Oscillators: oscillator.DefaultDeck(16),
+		}, nil)
+		if err != nil {
+			return err
+		}
+		if err := sim.Step(); err != nil {
+			return err
+		}
+		cn := extracts.New(c, extracts.Spec{
+			ArrayName: "data", IsoValues: []float64{0.5},
+			Phi: []float64{0, 90}, Theta: []float64{30},
+			Width: 64, Height: 64, OutputDir: dir,
+		})
+		d := oscillator.NewDataAdaptor(sim)
+		d.Update()
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cn.Execute(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAblationSENSEIVsFreeprocessing contrasts the two coupling styles
+// of §2.2.5: the SENSEI zero-copy adaptor versus Freeprocessing-style write
+// interception (serialize + decode, two full copies).
+func BenchmarkAblationSENSEIVsFreeprocessing(b *testing.B) {
+	b.Run("sensei-zero-copy", func(b *testing.B) {
+		err := mpi.Run(1, func(c *mpi.Comm) error {
+			sim, err := oscillator.NewSim(c, oscillator.Config{
+				GlobalCells: [3]int{16, 16, 16}, DT: 0.05, Steps: 1,
+				Oscillators: oscillator.DefaultDeck(16),
+			}, nil)
+			if err != nil {
+				return err
+			}
+			if err := sim.Step(); err != nil {
+				return err
+			}
+			h := analysis.NewHistogram(c, "data", grid.CellData, 8)
+			d := oscillator.NewDataAdaptor(sim)
+			d.Update()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Execute(d); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("freeprocessing-interception", func(b *testing.B) {
+		err := mpi.Run(1, func(c *mpi.Comm) error {
+			sim, err := oscillator.NewSim(c, oscillator.Config{
+				GlobalCells: [3]int{16, 16, 16}, DT: 0.05, Steps: 1,
+				Oscillators: oscillator.DefaultDeck(16),
+			}, nil)
+			if err != nil {
+				return err
+			}
+			if err := sim.Step(); err != nil {
+				return err
+			}
+			bridge := core.NewBridge(c, nil, nil)
+			bridge.AddAnalysis("histogram", analysis.NewHistogram(c, "data", grid.CellData, 8))
+			ip := freeproc.New(bridge)
+			d := oscillator.NewDataAdaptor(sim)
+			d.Update()
+			mesh, _ := d.Mesh(false)
+			if err := d.AddArray(mesh, grid.CellData, "data"); err != nil {
+				return err
+			}
+			img := mesh.(*grid.ImageData)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w := ip.NewStepWriter()
+				if _, err := w.Write(adios.EncodeStep(img, i, 0)); err != nil {
+					return err
+				}
+				if err := w.Close(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkAblationFanIn contrasts 1:1 staging with 4:2 fan-in.
+func BenchmarkAblationFanIn(b *testing.B) {
+	for _, readers := range []int{4, 2} {
+		readers := readers
+		b.Run(fmt.Sprintf("4writers-%dreaders", readers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fabric := adios.NewFabricNM(4, readers, 2)
+				var wg sync.WaitGroup
+				wg.Add(2)
+				var werr, eerr error
+				go func() {
+					defer wg.Done()
+					werr = mpi.Run(4, func(c *mpi.Comm) error {
+						sim, err := oscillator.NewSim(c, oscillator.Config{
+							GlobalCells: [3]int{12, 12, 12}, DT: 0.05, Steps: 2,
+							Oscillators: oscillator.DefaultDeck(12),
+						}, nil)
+						if err != nil {
+							return err
+						}
+						w := adios.NewWriter(c, &adios.FlexPathTransport{Fabric: fabric})
+						d := oscillator.NewDataAdaptor(sim)
+						for s := 0; s < 2; s++ {
+							if err := sim.Step(); err != nil {
+								return err
+							}
+							d.Update()
+							if _, err := w.Execute(d); err != nil {
+								return err
+							}
+						}
+						return w.Finalize()
+					})
+				}()
+				go func() {
+					defer wg.Done()
+					_, eerr = adios.RunEndpoint(fabric, func(br *core.Bridge) error {
+						br.AddAnalysis("histogram", analysis.NewHistogram(br.Comm, "data", grid.CellData, 8))
+						return nil
+					})
+				}()
+				wg.Wait()
+				if werr != nil || eerr != nil {
+					b.Fatal(werr, eerr)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVolumeRenderComposite measures the direct-volume-rendering path:
+// local ray march plus ordered over-compositing across 4 ranks.
+func BenchmarkVolumeRenderComposite(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			sim, err := oscillator.NewSim(c, oscillator.Config{
+				GlobalCells: [3]int{16, 16, 16}, DT: 0.05, Steps: 2,
+				Oscillators: oscillator.DefaultDeck(16),
+			}, nil)
+			if err != nil {
+				return err
+			}
+			if err := sim.Step(); err != nil {
+				return err
+			}
+			if err := sim.Step(); err != nil {
+				return err
+			}
+			d := oscillator.NewDataAdaptor(sim)
+			d.Update()
+			mesh, err := d.Mesh(false)
+			if err != nil {
+				return err
+			}
+			if err := d.AddArray(mesh, grid.CellData, "data"); err != nil {
+				return err
+			}
+			img := mesh.(*grid.ImageData)
+			spec := &render.VolumeSpec{
+				ArrayName: "data", Axis: 2, Lo: -0.5, Hi: 1,
+				Map: colormap.Viridis(), OpacityScale: 0.3,
+				DomainBounds: [6]float64{0, 16, 0, 16, 0, 16},
+			}
+			local, key, err := render.RayMarchLocalSized(img, spec, 64, 64)
+			if err != nil {
+				return err
+			}
+			_, err = compositing.OverComposite(c, local, key, 0)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexBuildAndQuery measures the in situ binned-index build and a
+// range query against it.
+func BenchmarkIndexBuildAndQuery(b *testing.B) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		sim, err := oscillator.NewSim(c, oscillator.Config{
+			GlobalCells: [3]int{24, 24, 24}, DT: 0.05, Steps: 1,
+			Oscillators: oscillator.DefaultDeck(24),
+		}, nil)
+		if err != nil {
+			return err
+		}
+		if err := sim.Step(); err != nil {
+			return err
+		}
+		ix := analysis.NewBinnedIndex(c, "data", grid.CellData, 32)
+		d := oscillator.NewDataAdaptor(sim)
+		d.Update()
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Execute(d); err != nil {
+				return err
+			}
+			if _, _, err := ix.CountAbove(0.5); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

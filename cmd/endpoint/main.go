@@ -1,0 +1,137 @@
+// Command endpoint demonstrates the paper's §4.1.4 two-executable
+// ADIOS/FlexPath deployment: a simulation (writer) group and an analysis
+// (endpoint) group connected by the staging transport, 1:1 paired like the
+// paper's hyperthread co-scheduling on Cori.
+//
+// In the original, writer and endpoint are two separate binaries connected
+// over the interconnect; FlexPath even allows reconnecting a recompiled
+// endpoint mid-run. Here the fabric is in-process, so this command launches
+// both groups as two concurrent "executables" in one process — the code on
+// each side is exactly what two separate binaries would run.
+//
+// Example:
+//
+//	endpoint -ranks 8 -steps 20 -workload catalyst-slice -outdir ./frames
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"gosensei/internal/adios"
+	"gosensei/internal/analysis"
+	"gosensei/internal/catalyst"
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+	"gosensei/internal/metrics"
+	"gosensei/internal/mpi"
+	"gosensei/internal/oscillator"
+)
+
+func main() {
+	var (
+		ranks    = flag.Int("ranks", 4, "writer (and endpoint) group size")
+		cells    = flag.Int("cells", 32, "global cells per axis")
+		steps    = flag.Int("steps", 10, "time steps")
+		depth    = flag.Int("queue-depth", 1, "FlexPath staging queue depth")
+		workload = flag.String("workload", "histogram", "histogram | autocorrelation | catalyst-slice")
+		outdir   = flag.String("outdir", "", "image output directory (catalyst-slice)")
+		bins     = flag.Int("bins", 10, "histogram bins")
+		window   = flag.Int("window", 10, "autocorrelation window")
+	)
+	flag.Parse()
+
+	fabric := adios.NewFabric(*ranks, *depth)
+	simCfg := oscillator.Config{
+		GlobalCells: [3]int{*cells, *cells, *cells},
+		DT:          0.05,
+		Steps:       *steps,
+		Oscillators: oscillator.DefaultDeck(float64(*cells)),
+	}
+
+	var wg sync.WaitGroup
+	var writerErr, endpointErr error
+	var res *adios.EndpointResult
+	var hist *analysis.Histogram
+
+	wg.Add(2)
+	go func() { // the "simulation executable"
+		defer wg.Done()
+		writerErr = mpi.Run(*ranks, func(c *mpi.Comm) error {
+			sim, err := oscillator.NewSim(c, simCfg, nil)
+			if err != nil {
+				return err
+			}
+			w := adios.NewWriter(c, &adios.FlexPathTransport{Fabric: fabric})
+			b := core.NewBridge(c, nil, nil)
+			b.AddAnalysis("adios", w)
+			d := oscillator.NewDataAdaptor(sim)
+			for i := 0; i < simCfg.Steps; i++ {
+				if err := sim.Step(); err != nil {
+					return err
+				}
+				d.Update()
+				if _, err := b.Execute(d); err != nil {
+					return err
+				}
+			}
+			return b.Finalize()
+		})
+	}()
+	go func() { // the "endpoint executable"
+		defer wg.Done()
+		res, endpointErr = adios.RunEndpoint(fabric, func(b *core.Bridge) error {
+			switch *workload {
+			case "histogram":
+				h := analysis.NewHistogram(b.Comm, "data", grid.CellData, *bins)
+				if b.Comm.Rank() == 0 {
+					hist = h
+				}
+				b.AddAnalysis("histogram", h)
+			case "autocorrelation":
+				b.AddAnalysis("autocorrelation",
+					analysis.NewAutocorrelation(b.Comm, "data", grid.CellData, *window, 3))
+			case "catalyst-slice":
+				a := catalyst.NewSliceAdaptor(b.Comm, catalyst.Options{
+					ArrayName: "data", Assoc: grid.CellData,
+					Width: 480, Height: 270,
+					SliceAxis: 2, SliceCoord: float64(*cells) / 2,
+					OutputDir: *outdir,
+				})
+				a.Registry = b.Registry
+				b.AddAnalysis("catalyst", a)
+			default:
+				return fmt.Errorf("unknown workload %q", *workload)
+			}
+			return nil
+		})
+	}()
+	wg.Wait()
+	if writerErr != nil {
+		fatal(writerErr)
+	}
+	if endpointErr != nil {
+		fatal(endpointErr)
+	}
+
+	fmt.Printf("flexpath: %d writer/%d endpoint ranks, %d steps staged, workload %s\n",
+		*ranks, *ranks, res.Steps, *workload)
+	reg := res.Registries[0]
+	fmt.Printf("endpoint init: %s, decode total: %s\n",
+		metrics.FormatSeconds(reg.Timer("endpoint::initialize").Total().Seconds()),
+		metrics.FormatSeconds(reg.Timer("endpoint::decode").Total().Seconds()))
+	if hist != nil && hist.Last != nil {
+		fmt.Printf("final histogram (step %d, range [%.3f, %.3f]):\n", hist.Last.Step, hist.Last.Min, hist.Last.Max)
+		for i, c := range hist.Last.Counts {
+			lo, hi := hist.Last.Bin(i)
+			fmt.Printf("  [%8.3f, %8.3f) %d\n", lo, hi, c)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "endpoint:", err)
+	os.Exit(1)
+}

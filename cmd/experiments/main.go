@@ -1,0 +1,74 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section. Each experiment prints rows labeled "real" (executed
+// at goroutine scale in this process) and "model" (extrapolated to the
+// paper's core counts with the calibrated performance model).
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -run fig6
+//	experiments -run all -ranks 8 -cells 32 -steps 10 -calibrate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gosensei/internal/experiments"
+	"gosensei/internal/perfmodel"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "all", "experiment id (see -list) or \"all\"")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		ranks     = flag.Int("ranks", 4, "ranks for the executed rows")
+		cells     = flag.Int("cells", 24, "global cell edge for the executed rows")
+		steps     = flag.Int("steps", 8, "time steps for the executed rows")
+		imageW    = flag.Int("image-width", 96, "executed-row image width")
+		imageH    = flag.Int("image-height", 54, "executed-row image height")
+		calibrate = flag.Bool("calibrate", true, "measure kernel costs on this host for the model rows")
+		seed      = flag.Int64("seed", 1, "I/O variability seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %-16s %s\n", e.ID, e.Artifact, e.Summary)
+		}
+		return
+	}
+
+	opt := experiments.DefaultOptions()
+	opt.RealRanks = *ranks
+	opt.RealCells = *cells
+	opt.RealSteps = *steps
+	opt.ImageW = *imageW
+	opt.ImageH = *imageH
+	opt.Seed = *seed
+	if *calibrate {
+		opt.Calibration = perfmodel.Calibrate()
+	}
+
+	var selected []experiments.Experiment
+	if *run == "all" {
+		selected = experiments.All()
+	} else {
+		e, err := experiments.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	for _, e := range selected {
+		tab, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.String())
+	}
+}

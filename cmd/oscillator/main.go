@@ -1,0 +1,148 @@
+// Command oscillator runs the miniapplication of the paper's §3.3 with a
+// SENSEI analysis configuration, mirroring the original miniapp's command
+// line: an oscillator input deck, grid/time parameters, and an XML analysis
+// configuration selecting any of the registered analyses and
+// infrastructures (histogram, autocorrelation, catalyst, libsim, adios,
+// glean).
+//
+// Example:
+//
+//	oscillator -ranks 8 -cells 32 -steps 20 \
+//	    -config configs/histogram.xml -deck decks/sample.osc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	_ "gosensei/internal/adios"
+	_ "gosensei/internal/analysis"
+	_ "gosensei/internal/catalyst"
+	"gosensei/internal/core"
+	_ "gosensei/internal/extracts"
+	_ "gosensei/internal/glean"
+	_ "gosensei/internal/iosim"
+	_ "gosensei/internal/libsim"
+	"gosensei/internal/metrics"
+	"gosensei/internal/mpi"
+	"gosensei/internal/oscillator"
+)
+
+func main() {
+	var (
+		ranks   = flag.Int("ranks", 4, "world size (simulated MPI ranks)")
+		cells   = flag.Int("cells", 32, "global cells per axis")
+		steps   = flag.Int("steps", 20, "time steps")
+		dt      = flag.Float64("dt", 0.05, "time resolution")
+		sync    = flag.Bool("sync", false, "barrier after every step")
+		deck    = flag.String("deck", "", "oscillator input deck (default: built-in three-source deck)")
+		config  = flag.String("config", "", "SENSEI analysis configuration XML")
+		verbose = flag.Bool("v", false, "print per-rank timing summary")
+	)
+	flag.Parse()
+
+	var configDoc []byte
+	if *config != "" {
+		doc, err := os.ReadFile(*config)
+		if err != nil {
+			fatal(err)
+		}
+		configDoc = doc
+	}
+
+	err := mpi.Run(*ranks, func(c *mpi.Comm) error {
+		var oscs []oscillator.Oscillator
+		var err error
+		if *deck != "" {
+			var f *os.File
+			if c.Rank() == 0 {
+				f, err = os.Open(*deck)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+			}
+			if f != nil {
+				oscs, err = oscillator.BroadcastDeck(c, f)
+			} else {
+				oscs, err = oscillator.BroadcastDeck(c, nil)
+			}
+			if err != nil {
+				return err
+			}
+		} else {
+			oscs = oscillator.DefaultDeck(float64(*cells))
+		}
+		cfg := oscillator.Config{
+			GlobalCells: [3]int{*cells, *cells, *cells},
+			DT:          *dt,
+			Steps:       *steps,
+			Sync:        *sync,
+			Oscillators: oscs,
+		}
+		reg := metrics.NewRegistry(c.Rank())
+		mem := metrics.NewTracker()
+		sim, err := oscillator.NewSim(c, cfg, mem)
+		if err != nil {
+			return err
+		}
+		bridge := core.NewBridge(c, reg, mem)
+		if configDoc != nil {
+			if err := core.ConfigureFromXML(bridge, configDoc); err != nil {
+				return err
+			}
+		}
+		adaptor := oscillator.NewDataAdaptor(sim)
+		total := reg.Timer("total")
+		total.Start()
+		for i := 0; i < cfg.Steps; i++ {
+			if err := sim.Step(); err != nil {
+				return err
+			}
+			adaptor.Update()
+			cont, err := bridge.Execute(adaptor)
+			if err != nil {
+				return err
+			}
+			if !cont {
+				break
+			}
+		}
+		if err := bridge.Finalize(); err != nil {
+			return err
+		}
+		total.Stop()
+
+		tot, err := metrics.Summarize(c, reg, "total")
+		if err != nil {
+			return err
+		}
+		hw, err := metrics.SumHighWater(c, mem)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("oscillator: %d ranks, %d^3 cells, %d steps, %d analyses\n",
+				c.Size(), *cells, *steps, bridge.AnalysisCount())
+			fmt.Printf("time to solution: %s (max over ranks)\n", metrics.FormatSeconds(tot.Max))
+			fmt.Printf("memory high-water (sum over ranks): %s\n", metrics.FormatBytes(hw))
+			if *verbose {
+				for _, name := range reg.TimerNames() {
+					t := reg.Timer(name)
+					fmt.Printf("  %-28s total %-12s calls %d\n", name,
+						metrics.FormatSeconds(t.Total().Seconds()), t.Count())
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "oscillator:", err)
+	os.Exit(1)
+}

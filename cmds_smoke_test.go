@@ -1,0 +1,97 @@
+package gosensei
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd into a shared temp dir (cached per test run).
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = t.TempDir() // keep outputs out of the repo
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmdOscillatorSmoke(t *testing.T) {
+	bin := buildTool(t, "oscillator")
+	out := run(t, bin, "-ranks", "2", "-cells", "12", "-steps", "3")
+	if !strings.Contains(out, "time to solution") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	// With a config and a deck from the repository.
+	wd, _ := os.Getwd()
+	out = run(t, bin, "-ranks", "2", "-cells", "32", "-steps", "3",
+		"-deck", filepath.Join(wd, "decks", "sample.osc"),
+		"-config", filepath.Join(wd, "configs", "histogram.xml"), "-v")
+	if !strings.Contains(out, "1 analyses") {
+		t.Fatalf("config not applied:\n%s", out)
+	}
+	if !strings.Contains(out, "analysis::histogram") {
+		t.Fatalf("histogram timer missing:\n%s", out)
+	}
+}
+
+func TestCmdExperimentsSmoke(t *testing.T) {
+	bin := buildTool(t, "experiments")
+	out := run(t, bin, "-list")
+	for _, id := range []string{"fig3", "tab1", "tab2", "fig17", "abl-zerocopy"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("experiment %s missing from -list:\n%s", id, out)
+		}
+	}
+	out = run(t, bin, "-run", "tab1", "-calibrate=false")
+	if !strings.Contains(out, "vtk-io") || !strings.Contains(out, "mpi-io") {
+		t.Fatalf("tab1 output wrong:\n%s", out)
+	}
+}
+
+func TestCmdEndpointSmoke(t *testing.T) {
+	bin := buildTool(t, "endpoint")
+	out := run(t, bin, "-ranks", "2", "-cells", "12", "-steps", "3", "-workload", "histogram")
+	if !strings.Contains(out, "3 steps staged") {
+		t.Fatalf("staging count wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "final histogram") {
+		t.Fatalf("histogram missing:\n%s", out)
+	}
+}
+
+func TestCmdPosthocSmoke(t *testing.T) {
+	osc := buildTool(t, "oscillator")
+	ph := buildTool(t, "posthoc")
+	work := t.TempDir()
+	// Produce step files with the vtk-writer analysis.
+	cfg := filepath.Join(work, "writer.xml")
+	if err := os.WriteFile(cfg, []byte(`<sensei><analysis type="vtk-writer" dir="`+work+`/out"/></sensei>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(osc, "-ranks", "2", "-cells", "12", "-steps", "3", "-config", cfg)
+	cmd.Dir = work
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("producer: %v\n%s", err, out)
+	}
+	out := run(t, ph, "-dir", work+"/out", "-writers", "2", "-readers", "1", "-workload", "histogram", "-cells", "12")
+	if !strings.Contains(out, "read:") || !strings.Contains(out, "process:") {
+		t.Fatalf("posthoc output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,25 @@
+// Package gosensei is a pure-Go, standard-library-only reproduction of the
+// SC16 paper "Performance Analysis, Design Considerations, and Applications
+// of Extreme-scale In Situ Infrastructures" (Ayachit et al.,
+// DOI 10.1109/SC.2016.78).
+//
+// The repository root holds the benchmark harness (one testing.B benchmark
+// per paper table and figure, plus design-choice ablations) and the
+// everything-at-once integration test. The implementation lives under
+// internal/ — see DESIGN.md for the full inventory, EXPERIMENTS.md for
+// paper-versus-measured results, and README.md for a tour:
+//
+//   - internal/core is the paper's contribution, the SENSEI generic data
+//     interface (DataAdaptor / AnalysisAdaptor / Bridge);
+//   - internal/mpi, internal/array, internal/grid are the HPC substrate
+//     (message passing, zero-copy data model, meshes);
+//   - internal/catalyst, internal/libsim, internal/adios, internal/glean are
+//     the four in situ infrastructures the interface bridges;
+//   - internal/oscillator, internal/phasta, internal/leslie, internal/nyx
+//     are the miniapp and the three science-application proxies;
+//   - internal/experiments regenerates every table and figure, combining
+//     real goroutine-scale execution with a calibrated at-scale model.
+//
+// Entry points: cmd/oscillator, cmd/experiments, cmd/endpoint, cmd/posthoc,
+// and the runnable programs under examples/.
+package gosensei

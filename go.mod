@@ -1,0 +1,3 @@
+module gosensei
+
+go 1.22

@@ -1,0 +1,105 @@
+package gosensei
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	_ "gosensei/internal/adios"
+	_ "gosensei/internal/analysis"
+	_ "gosensei/internal/catalyst"
+	"gosensei/internal/core"
+	_ "gosensei/internal/extracts"
+	_ "gosensei/internal/glean"
+	_ "gosensei/internal/iosim"
+	_ "gosensei/internal/libsim"
+	"gosensei/internal/metrics"
+	"gosensei/internal/mpi"
+	"gosensei/internal/oscillator"
+)
+
+// TestEverythingAtOnce is the full "write once, use everywhere" integration:
+// the miniapp instrumented once, then coupled — in a single run — to every
+// registered analysis and infrastructure via one XML document, the way
+// configs/all-infrastructures.xml wires a production run.
+func TestEverythingAtOnce(t *testing.T) {
+	work := t.TempDir()
+	cfgXML := `<sensei>
+	  <analysis type="histogram"       array="data" bins="10"/>
+	  <analysis type="autocorrelation" array="data" window="5" k-max="3"/>
+	  <analysis type="index"           array="data" bins="16"/>
+	  <analysis type="compress"        array="data" bits="10"/>
+	  <analysis type="catalyst" array="data" image-width="48" image-height="32"
+	            slice-axis="z" slice-coord="8" output-dir="` + work + `/frames"/>
+	  <analysis type="libsim"   array="data" image-width="40" image-height="40" stride="2"/>
+	  <analysis type="adios"    transport="bp-file" dir="` + work + `/bp"/>
+	  <analysis type="glean"    ranks-per-node="2" mode="analysis" array="data" bins="8"/>
+	  <analysis type="cinema"   array="data" phi-count="2" theta-count="1"
+	            image-width="32" image-height="32" output-dir="` + work + `/cinema"/>
+	  <analysis type="vtk-writer" dir="` + work + `/blocks" stride="2"/>
+	</sensei>`
+
+	const (
+		ranks = 4
+		cells = 16
+		steps = 4
+	)
+	simCfg := oscillator.Config{
+		GlobalCells: [3]int{cells, cells, cells},
+		DT:          0.1,
+		Steps:       steps,
+		Oscillators: oscillator.DefaultDeck(cells),
+	}
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		reg := metrics.NewRegistry(c.Rank())
+		mem := metrics.NewTracker()
+		sim, err := oscillator.NewSim(c, simCfg, mem)
+		if err != nil {
+			return err
+		}
+		bridge := core.NewBridge(c, reg, mem)
+		if err := core.ConfigureFromXML(bridge, []byte(cfgXML)); err != nil {
+			return err
+		}
+		if bridge.AnalysisCount() != 10 {
+			t.Errorf("expected 10 analyses, got %d", bridge.AnalysisCount())
+		}
+		d := oscillator.NewDataAdaptor(sim)
+		for i := 0; i < simCfg.Steps; i++ {
+			if err := sim.Step(); err != nil {
+				return err
+			}
+			d.Update()
+			if _, err := bridge.Execute(d); err != nil {
+				return err
+			}
+		}
+		return bridge.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every side effect landed.
+	checkCount := func(pattern string, want int) {
+		t.Helper()
+		files, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) != want {
+			t.Errorf("%s: %d files, want %d", pattern, len(files), want)
+		}
+	}
+	checkCount(filepath.Join(work, "frames", "slice_*.png"), steps)
+	// Libsim stride 2 over executions 0..3 -> 2 images.
+	// (Catalyst stride is 1: every step.)
+	checkCount(filepath.Join(work, "bp", "*.bp"), steps*ranks)
+	// Cinema: steps x 1 iso x 2 phi x 1 theta images + index.json.
+	checkCount(filepath.Join(work, "cinema", "*.png"), steps*2)
+	if _, err := os.Stat(filepath.Join(work, "cinema", "index.json")); err != nil {
+		t.Errorf("cinema index missing: %v", err)
+	}
+	// vtk-writer stride 2 -> 2 steps x ranks block files.
+	checkCount(filepath.Join(work, "blocks", "*.blk"), 2*ranks)
+}

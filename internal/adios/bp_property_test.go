@@ -1,0 +1,114 @@
+package adios
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gosensei/internal/array"
+	"gosensei/internal/grid"
+)
+
+// TestBPRoundTripProperty: encode/decode is the identity for randomly shaped
+// datasets with random array inventories.
+func TestBPRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ext := grid.Extent{}
+		for ax := 0; ax < 3; ax++ {
+			lo := rng.Intn(5)
+			ext[2*ax] = lo
+			ext[2*ax+1] = lo + 1 + rng.Intn(4)
+		}
+		img := grid.NewImageData(ext)
+		img.Origin = [3]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		img.Spacing = [3]float64{rng.Float64() + 0.1, rng.Float64() + 0.1, rng.Float64() + 0.1}
+		type ref struct {
+			assoc grid.Association
+			name  string
+			comps int
+			vals  []float64
+		}
+		var refs []ref
+		nArrays := 1 + rng.Intn(3)
+		for i := 0; i < nArrays; i++ {
+			assoc := grid.CellData
+			tuples := img.NumberOfCells()
+			if rng.Intn(2) == 0 {
+				assoc = grid.PointData
+				tuples = img.NumberOfPoints()
+			}
+			comps := 1 + rng.Intn(3)
+			vals := make([]float64, tuples*comps)
+			for j := range vals {
+				vals[j] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(6)-3))
+			}
+			name := string(rune('a' + i))
+			img.Attributes(assoc).Add(array.WrapAOS(name, comps, vals))
+			refs = append(refs, ref{assoc, name, comps, vals})
+		}
+		step := rng.Intn(1000)
+		tm := rng.Float64() * 100
+
+		got, gs, gt, err := DecodeStep(EncodeStep(img, step, tm))
+		if err != nil {
+			return false
+		}
+		if gs != step || gt != tm || got.Extent != img.Extent || got.Origin != img.Origin || got.Spacing != img.Spacing {
+			return false
+		}
+		for _, r := range refs {
+			a := got.Attributes(r.assoc).Get(r.name)
+			if a == nil || a.Components() != r.comps {
+				return false
+			}
+			for ti := 0; ti < a.Tuples(); ti++ {
+				for ci := 0; ci < r.comps; ci++ {
+					if a.Value(ti, ci) != r.vals[ti*r.comps+ci] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBPDecodeNeverPanics: arbitrary byte soup must produce errors, not
+// panics or absurd allocations.
+func TestBPDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("DecodeStep panicked")
+			}
+		}()
+		_, _, _, _ = DecodeStep(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// And mutations of a valid payload.
+	img := sampleImage()
+	payload := EncodeStep(img, 1, 0.5)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		mut := append([]byte(nil), payload...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if recover() != nil {
+					t.Fatal("DecodeStep panicked on mutated payload")
+				}
+			}()
+			_, _, _, _ = DecodeStep(mut)
+		}()
+	}
+}

@@ -1,0 +1,414 @@
+package adios
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+	"gosensei/internal/metrics"
+	"gosensei/internal/mpi"
+)
+
+// Message is one staged unit: a serialized step from one writer rank, or an
+// end-of-stream marker.
+type Message struct {
+	Payload []byte
+	Step    int
+	Writer  int // producing writer rank
+	EOS     bool
+}
+
+// Fabric is the FlexPath-like staging channel set connecting a group of N
+// writers to a group of M analysis readers. FlexPath "can support same-node,
+// multi-node, or even multi-machine deployment configurations"; the paper's
+// Cori runs used the 1:1 hyperthread pairing (N == M), while in transit
+// deployments drain many simulation ranks into a smaller analysis
+// allocation (N > M). Writers map to readers in contiguous blocks; a bounded
+// queue per reader means a writer blocks in adios::analysis when its reader
+// has not kept up — the backpressure the paper's Fig. 8 timings include.
+type Fabric struct {
+	nWriters int
+	chans    []chan Message
+}
+
+// NewFabric creates a 1:1 fabric for n writer/reader pairs with the given
+// queue depth (FlexPath's default behavior corresponds to depth 1).
+func NewFabric(n, depth int) *Fabric {
+	return NewFabricNM(n, n, depth)
+}
+
+// NewFabricNM creates a fabric for nWriters producers and nReaders analysis
+// ranks. nWriters must be a positive multiple-or-remainder partition of
+// readers (any positive pair is allowed; writers map to reader
+// writer*nReaders/nWriters).
+func NewFabricNM(nWriters, nReaders, depth int) *Fabric {
+	if nWriters <= 0 || nReaders <= 0 || depth <= 0 {
+		panic(fmt.Sprintf("adios: invalid fabric writers=%d readers=%d depth=%d", nWriters, nReaders, depth))
+	}
+	f := &Fabric{nWriters: nWriters, chans: make([]chan Message, nReaders)}
+	for i := range f.chans {
+		f.chans[i] = make(chan Message, depth)
+	}
+	return f
+}
+
+// Pairs returns the reader count (for the 1:1 case, the pair count).
+func (f *Fabric) Pairs() int { return len(f.chans) }
+
+// Writers returns the writer-group size.
+func (f *Fabric) Writers() int { return f.nWriters }
+
+// ReaderOf returns the analysis rank that consumes a writer's stream.
+func (f *Fabric) ReaderOf(writer int) int {
+	return writer * len(f.chans) / f.nWriters
+}
+
+// WritersOf returns the writer ranks feeding one reader.
+func (f *Fabric) WritersOf(reader int) []int {
+	var out []int
+	for w := 0; w < f.nWriters; w++ {
+		if f.ReaderOf(w) == reader {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// send blocks until the destination reader has queue space.
+func (f *Fabric) send(writer int, m Message) {
+	m.Writer = writer
+	f.chans[f.ReaderOf(writer)] <- m
+}
+
+// recv blocks until some writer delivers a message for this reader.
+func (f *Fabric) recv(reader int) Message { return <-f.chans[reader] }
+
+// Transport is the ADIOS service interface: "only a tweak to the input
+// parameters is needed to swap methods". Both the staging and file
+// transports implement it.
+type Transport interface {
+	// WriteStep ships one serialized step.
+	WriteStep(rank int, payload []byte, step int) error
+	// Advance publishes step metadata (a group-wide exchange).
+	Advance(c *mpi.Comm, step int) error
+	// Close ends the stream.
+	Close(rank int) error
+	// Name identifies the transport ("flexpath", "bp-file").
+	Name() string
+}
+
+// FlexPathTransport stages steps through a Fabric.
+type FlexPathTransport struct {
+	Fabric *Fabric
+}
+
+// Name implements Transport.
+func (t *FlexPathTransport) Name() string { return "flexpath" }
+
+// WriteStep implements Transport; it blocks on reader backpressure.
+func (t *FlexPathTransport) WriteStep(rank int, payload []byte, step int) error {
+	t.Fabric.send(rank, Message{Payload: payload, Step: step})
+	return nil
+}
+
+// Advance implements Transport: the writer group synchronizes metadata (a
+// small collective), the adios::advance phase of Fig. 8.
+func (t *FlexPathTransport) Advance(c *mpi.Comm, step int) error {
+	if c == nil {
+		return nil
+	}
+	meta := []int64{int64(step)}
+	recv := make([]int64, 1)
+	return mpi.Allreduce(c, meta, recv, mpi.OpMax)
+}
+
+// Close implements Transport.
+func (t *FlexPathTransport) Close(rank int) error {
+	t.Fabric.send(rank, Message{EOS: true})
+	return nil
+}
+
+// BPFileTransport writes one BP file per (step, rank) under Dir — the
+// traditional post hoc path through the same API.
+type BPFileTransport struct {
+	Dir string
+}
+
+// Name implements Transport.
+func (t *BPFileTransport) Name() string { return "bp-file" }
+
+// WriteStep implements Transport.
+func (t *BPFileTransport) WriteStep(rank int, payload []byte, step int) error {
+	if err := os.MkdirAll(t.Dir, 0o755); err != nil {
+		return fmt.Errorf("adios: %w", err)
+	}
+	path := filepath.Join(t.Dir, fmt.Sprintf("step%05d_rank%05d.bp", step, rank))
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		return fmt.Errorf("adios: %w", err)
+	}
+	return nil
+}
+
+// Advance implements Transport.
+func (t *BPFileTransport) Advance(c *mpi.Comm, step int) error {
+	if c == nil {
+		return nil
+	}
+	return c.Barrier()
+}
+
+// Close implements Transport.
+func (t *BPFileTransport) Close(rank int) error { return nil }
+
+// ReadBPFile loads one staged BP file.
+func ReadBPFile(dir string, step, rank int) (*grid.ImageData, int, float64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("step%05d_rank%05d.bp", step, rank)))
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("adios: %w", err)
+	}
+	return DecodeStep(data)
+}
+
+// Writer is the simulation-side SENSEI analysis adaptor: executing it
+// serializes the current step (a buffer copy — FlexPath is not zero-copy)
+// and ships it through the transport. Timing events follow the paper's
+// naming: "adios::advance" and "adios::analysis".
+type Writer struct {
+	Comm      *mpi.Comm
+	Transport Transport
+	Registry  *metrics.Registry
+	Memory    *metrics.Tracker
+}
+
+// NewWriter builds a writer over a transport.
+func NewWriter(c *mpi.Comm, t Transport) *Writer {
+	return &Writer{Comm: c, Transport: t}
+}
+
+func (w *Writer) reg() *metrics.Registry {
+	if w.Registry == nil {
+		rank := 0
+		if w.Comm != nil {
+			rank = w.Comm.Rank()
+		}
+		w.Registry = metrics.NewRegistry(rank)
+	}
+	return w.Registry
+}
+
+// Execute implements core.AnalysisAdaptor.
+func (w *Writer) Execute(d core.DataAdaptor) (bool, error) {
+	mesh, err := d.Mesh(false)
+	if err != nil {
+		return false, err
+	}
+	// Attach every available array so the stream is self-describing.
+	for _, assoc := range []grid.Association{grid.PointData, grid.CellData} {
+		names, err := d.ArrayNames(assoc)
+		if err != nil {
+			return false, err
+		}
+		for _, n := range names {
+			if err := d.AddArray(mesh, assoc, n); err != nil {
+				return false, err
+			}
+		}
+	}
+	img, ok := mesh.(*grid.ImageData)
+	if !ok {
+		return false, fmt.Errorf("adios: staging supports structured data, got %v", mesh.Kind())
+	}
+	step := d.TimeStep()
+	if err := w.timeAdvance(step); err != nil {
+		return false, err
+	}
+	// adios::analysis: serialize (the non-zero-copy buffer) and ship,
+	// including any blocking while the reader catches up.
+	var sendErr error
+	w.reg().Time("adios::analysis", step, func() {
+		payload := EncodeStep(img, step, d.Time())
+		if w.Memory != nil {
+			w.Memory.Alloc("adios/stage-buffer", int64(len(payload)))
+			defer w.Memory.Free("adios/stage-buffer", int64(len(payload)))
+		}
+		rank := 0
+		if w.Comm != nil {
+			rank = w.Comm.Rank()
+		}
+		sendErr = w.Transport.WriteStep(rank, payload, step)
+	})
+	return true, sendErr
+}
+
+func (w *Writer) timeAdvance(step int) error {
+	var err error
+	w.reg().Time("adios::advance", step, func() {
+		err = w.Transport.Advance(w.Comm, step)
+	})
+	return err
+}
+
+// Finalize implements core.AnalysisAdaptor: signals end of stream.
+func (w *Writer) Finalize() error {
+	rank := 0
+	if w.Comm != nil {
+		rank = w.Comm.Rank()
+	}
+	return w.Transport.Close(rank)
+}
+
+// StagedDataAdaptor serves a re-hydrated step to endpoint analyses. With a
+// 1:1 fabric Data is the single staged block; with N:M fan-in it is a
+// MultiBlock of every block the reader's writers produced for the step.
+type StagedDataAdaptor struct {
+	core.BaseDataAdaptor
+	Data grid.Dataset
+}
+
+// Mesh implements core.DataAdaptor.
+func (s *StagedDataAdaptor) Mesh(bool) (grid.Dataset, error) { return s.Data, nil }
+
+// AddArray implements core.DataAdaptor: arrays arrive pre-attached in the
+// stream, so this only validates presence.
+func (s *StagedDataAdaptor) AddArray(mesh grid.Dataset, assoc grid.Association, name string) error {
+	if mb, ok := mesh.(*grid.MultiBlock); ok {
+		for _, b := range mb.Blocks {
+			if b != nil && b.Attributes(assoc).Get(name) != nil {
+				return nil
+			}
+		}
+		return fmt.Errorf("adios: staged step has no %s array %q in any block", assoc, name)
+	}
+	if mesh.Attributes(assoc).Get(name) == nil {
+		return fmt.Errorf("adios: staged step has no %s array %q", assoc, name)
+	}
+	return nil
+}
+
+// ArrayNames implements core.DataAdaptor.
+func (s *StagedDataAdaptor) ArrayNames(assoc grid.Association) ([]string, error) {
+	if mb, ok := s.Data.(*grid.MultiBlock); ok {
+		for _, b := range mb.Blocks {
+			if b != nil {
+				return b.Attributes(assoc).Names(), nil
+			}
+		}
+		return nil, nil
+	}
+	return s.Data.Attributes(assoc).Names(), nil
+}
+
+// ReleaseData implements core.DataAdaptor.
+func (s *StagedDataAdaptor) ReleaseData() error { s.Data = nil; return nil }
+
+// EndpointResult carries the endpoint's instrumentation back to the driver.
+type EndpointResult struct {
+	Registries []*metrics.Registry
+	Steps      int
+}
+
+// RunEndpoint runs the analysis endpoint group: one rank per fabric reader,
+// each receiving staged steps until every feeding writer sent EOS. With
+// fan-in (N writers > M readers), a reader assembles each step's blocks into
+// a MultiBlock before executing its bridge. It blocks until the stream
+// ends; run it concurrently with the writer group. Reader initialization is
+// timed under "endpoint::initialize" — the phase the paper found an order
+// of magnitude slower on Cori than Titan.
+func RunEndpoint(f *Fabric, configure func(b *core.Bridge) error) (*EndpointResult, error) {
+	n := f.Pairs()
+	res := &EndpointResult{Registries: make([]*metrics.Registry, n)}
+	steps := make([]int, n)
+	err := mpi.Run(n, func(c *mpi.Comm) error {
+		reg := metrics.NewRegistry(c.Rank())
+		res.Registries[c.Rank()] = reg
+		b := core.NewBridge(c, reg, metrics.NewTracker())
+		var cfgErr error
+		reg.Time("endpoint::initialize", 0, func() {
+			// Connection handshake: every reader meets the group barrier
+			// before consuming, as FlexPath's control channel does.
+			cfgErr = configure(b)
+			if cfgErr == nil {
+				cfgErr = c.Barrier()
+			}
+		})
+		if cfgErr != nil {
+			return cfgErr
+		}
+		writers := f.WritersOf(c.Rank())
+		type partial struct {
+			blocks map[int]*grid.ImageData
+			time   float64
+		}
+		pending := map[int]*partial{}
+		eos := 0
+		for eos < len(writers) {
+			msg := f.recv(c.Rank())
+			if msg.EOS {
+				eos++
+				continue
+			}
+			var (
+				img *grid.ImageData
+				st  int
+				tm  float64
+				err error
+			)
+			reg.Time("endpoint::decode", msg.Step, func() {
+				img, st, tm, err = DecodeStep(msg.Payload)
+			})
+			if err != nil {
+				return err
+			}
+			p := pending[st]
+			if p == nil {
+				p = &partial{blocks: map[int]*grid.ImageData{}}
+				pending[st] = p
+			}
+			p.blocks[msg.Writer] = img
+			p.time = tm
+			if len(p.blocks) < len(writers) {
+				continue
+			}
+			delete(pending, st)
+			var data grid.Dataset
+			if len(writers) == 1 {
+				data = img
+			} else {
+				mb := &grid.MultiBlock{}
+				for _, w := range writers {
+					mb.Blocks = append(mb.Blocks, p.blocks[w])
+				}
+				data = mb
+			}
+			da := &StagedDataAdaptor{Data: data}
+			da.SetStep(st, p.time)
+			if _, err := b.Execute(da); err != nil {
+				return err
+			}
+			steps[c.Rank()]++
+		}
+		if len(pending) > 0 {
+			return fmt.Errorf("adios: endpoint rank %d: %d incomplete steps at EOS", c.Rank(), len(pending))
+		}
+		return b.Finalize()
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = steps[0]
+	return res, nil
+}
+
+// DrainTimeout guards tests against a stuck fabric: it receives one message
+// with a timeout.
+func (f *Fabric) DrainTimeout(rank int, d time.Duration) (Message, error) {
+	select {
+	case m := <-f.chans[rank]:
+		return m, nil
+	case <-time.After(d):
+		return Message{}, fmt.Errorf("adios: no message within %v", d)
+	}
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+	"gosensei/internal/metrics"
+	"gosensei/internal/mpi"
+)
+
+func init() {
+	core.RegisterFactory("compress", func(attrs core.Attrs, env *core.Env) (core.AnalysisAdaptor, error) {
+		bits, err := attrs.Int("bits", 12)
+		if err != nil {
+			return nil, err
+		}
+		assoc := grid.CellData
+		if attrs.String("association", "cell") == "point" {
+			assoc = grid.PointData
+		}
+		c := NewCompression(env.Comm, attrs.String("array", "data"), assoc, bits)
+		c.Memory = env.Memory
+		return c, nil
+	})
+}
+
+// CompressionResult summarizes one compressed step (valid on rank 0).
+type CompressionResult struct {
+	Step int
+	// RawBytes and CompressedBytes are global sums.
+	RawBytes        int64
+	CompressedBytes int64
+	// MaxError is the global maximum absolute reconstruction error.
+	MaxError float64
+	// Ratio is RawBytes / CompressedBytes.
+	Ratio float64
+}
+
+// Compression is the "compression" member of the paper's SDMAV operation
+// list: an in situ, error-bounded reduction of one scalar field. Each rank
+// quantizes its local values to Bits bits over the global range (giving a
+// hard error bound of half a quantization step) and deflates the quantized
+// stream; the compressed extract — not the field — is what a post hoc
+// workflow would store.
+type Compression struct {
+	Comm      *mpi.Comm
+	ArrayName string
+	Assoc     grid.Association
+	// Bits per value after quantization (1..32).
+	Bits int
+	// Memory, when set, accounts for the compressed buffer.
+	Memory *metrics.Tracker
+
+	// Last holds the most recent result (rank 0; every rank when Comm nil).
+	Last *CompressionResult
+	// KeepPayload retains the last compressed payload for decompression
+	// (tests and extract writers); off by default to stay memory-light.
+	KeepPayload bool
+	payload     []byte
+	lo, hi      float64
+	n           int
+}
+
+// NewCompression builds the analysis.
+func NewCompression(c *mpi.Comm, name string, assoc grid.Association, bits int) *Compression {
+	if bits < 1 || bits > 32 {
+		panic(fmt.Sprintf("analysis: compression bits must be in [1,32], got %d", bits))
+	}
+	return &Compression{Comm: c, ArrayName: name, Assoc: assoc, Bits: bits}
+}
+
+// ErrorBound returns the guaranteed maximum absolute error for a given
+// global range.
+func (cp *Compression) ErrorBound(lo, hi float64) float64 {
+	levels := float64(uint64(1)<<cp.Bits - 1)
+	if levels == 0 {
+		return hi - lo
+	}
+	return (hi - lo) / levels / 2
+}
+
+// Execute implements core.AnalysisAdaptor.
+func (cp *Compression) Execute(d core.DataAdaptor) (bool, error) {
+	mesh, err := core.FetchArray(d, cp.Assoc, cp.ArrayName)
+	if err != nil {
+		return false, err
+	}
+	sources, err := ScalarSources(mesh, cp.Assoc, cp.ArrayName)
+	if err != nil {
+		return false, fmt.Errorf("analysis: compression: %w", err)
+	}
+	// Global range (two reductions, like the histogram).
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, src := range sources {
+		for i := 0; i < src.Values.Tuples(); i++ {
+			v := src.Values.Value(i, 0)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if cp.Comm != nil {
+		g := make([]float64, 1)
+		if err := mpi.Allreduce(cp.Comm, []float64{lo}, g, mpi.OpMin); err != nil {
+			return false, err
+		}
+		lo = g[0]
+		if err := mpi.Allreduce(cp.Comm, []float64{hi}, g, mpi.OpMax); err != nil {
+			return false, err
+		}
+		hi = g[0]
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 0
+	}
+
+	// Quantize to Bits bits and measure the true reconstruction error.
+	levels := uint64(1)<<cp.Bits - 1
+	span := hi - lo
+	maxErr := 0.0
+	var quant bytes.Buffer
+	scratch := make([]byte, 4)
+	n := 0
+	for _, src := range sources {
+		for i := 0; i < src.Values.Tuples(); i++ {
+			v := src.Values.Value(i, 0)
+			var q uint64
+			if span > 0 {
+				q = uint64(math.Round((v - lo) / span * float64(levels)))
+			}
+			recon := lo
+			if levels > 0 {
+				recon = lo + float64(q)/float64(levels)*span
+			}
+			if e := math.Abs(recon - v); e > maxErr {
+				maxErr = e
+			}
+			binary.LittleEndian.PutUint32(scratch, uint32(q))
+			quant.Write(scratch[:4]) // byte-aligned storage; deflate removes the slack
+			n++
+		}
+	}
+	var compressed bytes.Buffer
+	zw := zlib.NewWriter(&compressed)
+	if _, err := zw.Write(quant.Bytes()); err != nil {
+		return false, err
+	}
+	if err := zw.Close(); err != nil {
+		return false, err
+	}
+	if cp.Memory != nil {
+		cp.Memory.FreeAll("compress/payload")
+		cp.Memory.Alloc("compress/payload", int64(compressed.Len()))
+	}
+	if cp.KeepPayload {
+		cp.payload = compressed.Bytes()
+		cp.lo, cp.hi, cp.n = lo, hi, n
+	}
+
+	raw := int64(n) * 8
+	comp := int64(compressed.Len())
+	res := &CompressionResult{Step: d.TimeStep(), RawBytes: raw, CompressedBytes: comp, MaxError: maxErr}
+	if cp.Comm != nil {
+		out := make([]int64, 2)
+		if err := mpi.Allreduce(cp.Comm, []int64{raw, comp}, out, mpi.OpSum); err != nil {
+			return false, err
+		}
+		res.RawBytes, res.CompressedBytes = out[0], out[1]
+		e := make([]float64, 1)
+		if err := mpi.Allreduce(cp.Comm, []float64{maxErr}, e, mpi.OpMax); err != nil {
+			return false, err
+		}
+		res.MaxError = e[0]
+	}
+	if res.CompressedBytes > 0 {
+		res.Ratio = float64(res.RawBytes) / float64(res.CompressedBytes)
+	}
+	if cp.Comm == nil || cp.Comm.Rank() == 0 {
+		cp.Last = res
+	}
+	return true, nil
+}
+
+// Decompress reconstructs the local values of the last kept payload.
+func (cp *Compression) Decompress() ([]float64, error) {
+	if cp.payload == nil {
+		return nil, fmt.Errorf("analysis: compression: no payload kept (set KeepPayload)")
+	}
+	zr, err := zlib.NewReader(bytes.NewReader(cp.payload))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	levels := uint64(1)<<cp.Bits - 1
+	span := cp.hi - cp.lo
+	out := make([]float64, cp.n)
+	buf := make([]byte, 4)
+	for i := range out {
+		if _, err := io.ReadFull(zr, buf); err != nil {
+			return nil, err
+		}
+		q := uint64(binary.LittleEndian.Uint32(buf))
+		out[i] = cp.lo
+		if levels > 0 {
+			out[i] = cp.lo + float64(q)/float64(levels)*span
+		}
+	}
+	return out, nil
+}
+
+// Finalize implements core.AnalysisAdaptor.
+func (cp *Compression) Finalize() error {
+	if cp.Memory != nil {
+		cp.Memory.FreeAll("compress/payload")
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+// Package analysis implements the in situ analysis methods the SC16 SENSEI
+// paper couples to the oscillator miniapp and the science codes: a parallel
+// histogram (the simple, memory-light method) and a temporal autocorrelation
+// (the time-dependent method that must cache a window of past steps).
+//
+// Both are written purely against core.DataAdaptor, so the same code runs
+// directly in situ, behind Catalyst/Libsim wrappers, or at the far end of an
+// ADIOS staging transport — the paper's "write once, use anywhere" property.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"gosensei/internal/array"
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+	"gosensei/internal/metrics"
+	"gosensei/internal/mpi"
+)
+
+func init() {
+	core.RegisterFactory("histogram", func(attrs core.Attrs, env *core.Env) (core.AnalysisAdaptor, error) {
+		bins, err := attrs.Int("bins", 10)
+		if err != nil {
+			return nil, err
+		}
+		assoc := grid.CellData
+		if attrs.String("association", "cell") == "point" {
+			assoc = grid.PointData
+		}
+		h := NewHistogram(env.Comm, attrs.String("array", "data"), assoc, bins)
+		h.Memory = env.Memory
+		return h, nil
+	})
+}
+
+// HistogramResult is the outcome of one histogram execution, valid on rank 0.
+type HistogramResult struct {
+	Step   int
+	Min    float64
+	Max    float64
+	Counts []int64
+}
+
+// Bin returns the inclusive value range of bin i.
+func (r *HistogramResult) Bin(i int) (lo, hi float64) {
+	w := (r.Max - r.Min) / float64(len(r.Counts))
+	return r.Min + float64(i)*w, r.Min + float64(i+1)*w
+}
+
+// Total returns the number of counted elements.
+func (r *HistogramResult) Total() int64 {
+	var n int64
+	for _, c := range r.Counts {
+		n += c
+	}
+	return n
+}
+
+// Histogram computes a global histogram of one mesh array per step: two
+// allreduce operations establish the global [min, max], each rank bins its
+// local (non-ghost) values, and the bins are reduced to rank 0. The only
+// extra storage is proportional to the bin count, as the paper notes.
+type Histogram struct {
+	Comm      *mpi.Comm
+	ArrayName string
+	Assoc     grid.Association
+	Bins      int
+	// Memory, when set, accounts for the bin storage.
+	Memory *metrics.Tracker
+
+	// Last holds the most recent result (rank 0 only).
+	Last *HistogramResult
+}
+
+// NewHistogram builds a histogram analysis over the named array.
+func NewHistogram(c *mpi.Comm, name string, assoc grid.Association, bins int) *Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("analysis: histogram bins must be positive, got %d", bins))
+	}
+	return &Histogram{Comm: c, ArrayName: name, Assoc: assoc, Bins: bins}
+}
+
+// Execute implements core.AnalysisAdaptor.
+func (h *Histogram) Execute(d core.DataAdaptor) (bool, error) {
+	mesh, err := core.FetchArray(d, h.Assoc, h.ArrayName)
+	if err != nil {
+		return false, err
+	}
+	res, err := h.Compute(d.TimeStep(), mesh)
+	if err != nil {
+		return false, err
+	}
+	if h.Comm == nil || h.Comm.Rank() == 0 {
+		h.Last = res
+	}
+	return true, nil
+}
+
+// Compute runs the histogram over an already-populated mesh (a single
+// dataset or a MultiBlock, as delivered by fan-in staging endpoints). It is
+// exposed separately so post hoc and in transit paths can reuse it. The
+// result is valid on rank 0 (and on every rank when Comm is nil, the serial
+// case).
+func (h *Histogram) Compute(step int, mesh grid.Dataset) (*HistogramResult, error) {
+	sources, err := ScalarSources(mesh, h.Assoc, h.ArrayName)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: histogram: %w", err)
+	}
+
+	// Local extrema over non-ghost values.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, src := range sources {
+		n := src.Values.Tuples()
+		for i := 0; i < n; i++ {
+			if src.Ghost != nil && src.Ghost.Value(i, 0) != 0 {
+				continue
+			}
+			v := src.Values.Value(i, 0)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	// Two global reductions for min and max, as in the paper.
+	if h.Comm != nil {
+		g := make([]float64, 1)
+		if err := mpi.Allreduce(h.Comm, []float64{lo}, g, mpi.OpMin); err != nil {
+			return nil, err
+		}
+		lo = g[0]
+		if err := mpi.Allreduce(h.Comm, []float64{hi}, g, mpi.OpMax); err != nil {
+			return nil, err
+		}
+		hi = g[0]
+	}
+	if math.IsInf(lo, 1) { // no non-ghost data anywhere
+		lo, hi = 0, 0
+	}
+
+	counts := make([]int64, h.Bins)
+	if h.Memory != nil {
+		h.Memory.Alloc("histogram/bins", int64(h.Bins)*8)
+		defer h.Memory.FreeAll("histogram/bins")
+	}
+	width := (hi - lo) / float64(h.Bins)
+	for _, src := range sources {
+		n := src.Values.Tuples()
+		for i := 0; i < n; i++ {
+			if src.Ghost != nil && src.Ghost.Value(i, 0) != 0 {
+				continue
+			}
+			v := src.Values.Value(i, 0)
+			b := 0
+			if width > 0 {
+				b = int((v - lo) / width)
+				if b >= h.Bins {
+					b = h.Bins - 1
+				}
+				if b < 0 {
+					b = 0
+				}
+			}
+			counts[b]++
+		}
+	}
+	// Reduce histograms to the root.
+	if h.Comm != nil {
+		global := make([]int64, h.Bins)
+		if err := mpi.Reduce(h.Comm, counts, global, mpi.OpSum, 0); err != nil {
+			return nil, err
+		}
+		counts = global
+	}
+	return &HistogramResult{Step: step, Min: lo, Max: hi, Counts: counts}, nil
+}
+
+// Finalize implements core.AnalysisAdaptor; the histogram holds no state.
+func (h *Histogram) Finalize() error { return nil }
+
+// SerialHistogram bins the values of one array without any communication;
+// it is the reference the parallel path is tested against and the kernel the
+// post hoc tool uses.
+func SerialHistogram(a array.Array, ghost array.Array, bins int) *HistogramResult {
+	h := &Histogram{ArrayName: a.Name(), Assoc: grid.CellData, Bins: bins}
+	mesh := grid.NewImageData(grid.NewExtent3D(2, 2, 2)) // container only
+	a2 := a.Clone()
+	a2.SetName(h.ArrayName)
+	mesh.Attributes(grid.CellData).Add(a2)
+	if ghost != nil {
+		g2 := ghost.Clone()
+		g2.SetName(grid.GhostArrayName)
+		mesh.Attributes(grid.CellData).Add(g2)
+	}
+	res, err := h.Compute(0, mesh)
+	if err != nil {
+		panic(err) // cannot happen: array is attached above
+	}
+	return res
+}

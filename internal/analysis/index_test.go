@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gosensei/internal/array"
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+	"gosensei/internal/metrics"
+	"gosensei/internal/mpi"
+)
+
+func indexOver(t *testing.T, vals []float64, bins int) *BinnedIndex {
+	t.Helper()
+	ix := NewBinnedIndex(nil, "data", grid.CellData, bins)
+	d := &meshAdaptor{mesh: cellMesh(vals)}
+	d.SetStep(1, 0.1)
+	if _, err := ix.Execute(d); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestIndexCountBoundsBracketTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.Float64() * 100
+	}
+	ix := indexOver(t, vals, 16)
+	for _, thr := range []float64{-5, 0, 12.5, 50, 99, 105} {
+		truth := int64(0)
+		for _, v := range vals {
+			if v > thr {
+				truth++
+			}
+		}
+		lower, upper, err := ix.CountAbove(thr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth < lower || truth > upper {
+			t.Fatalf("t=%v: truth %d outside index bounds [%d, %d]", thr, truth, lower, upper)
+		}
+	}
+}
+
+func TestIndexBoundsProperty(t *testing.T) {
+	f := func(seed int64, binsRaw uint8) bool {
+		bins := int(binsRaw%30) + 2
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 10
+		}
+		ix := NewBinnedIndex(nil, "data", grid.CellData, bins)
+		d := &meshAdaptor{mesh: cellMesh(vals)}
+		if _, err := ix.Execute(d); err != nil {
+			return false
+		}
+		thr := rng.NormFloat64() * 10
+		truth := int64(0)
+		for _, v := range vals {
+			if v > thr {
+				truth++
+			}
+		}
+		lower, upper, err := ix.CountAbove(thr)
+		if err != nil {
+			return false
+		}
+		return truth >= lower && truth <= upper && lower >= 0 && upper <= int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexLocalSelectionAreTrueHits(t *testing.T) {
+	vals := []float64{1, 9, 3, 8, 2, 7}
+	ix := indexOver(t, vals, 4)
+	// Bins over [1,9]: width 2. Threshold 5 -> bin 2; guaranteed hits are
+	// bins 3: values in [7,9].
+	sel := ix.LocalSelection(5)
+	for _, id := range sel {
+		if vals[id] <= 5 {
+			t.Fatalf("selection id %d has value %v <= threshold", id, vals[id])
+		}
+	}
+	if len(sel) == 0 {
+		t.Fatal("no guaranteed hits found")
+	}
+}
+
+func TestIndexParallelCounts(t *testing.T) {
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		// Rank r holds values r*10 .. r*10+4.
+		vals := make([]float64, 5)
+		for i := range vals {
+			vals[i] = float64(c.Rank()*10 + i)
+		}
+		ix := NewBinnedIndex(c, "data", grid.CellData, 8)
+		d := &meshAdaptor{mesh: cellMesh(vals)}
+		if _, err := ix.Execute(d); err != nil {
+			return err
+		}
+		lower, upper, err := ix.CountAbove(9.5)
+		if err != nil {
+			return err
+		}
+		// Truth: ranks 1 and 2 contribute all 10 values > 9.5.
+		if lower > 10 || upper < 10 {
+			t.Errorf("rank %d: bounds [%d, %d] exclude truth 10", c.Rank(), lower, upper)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexGhostsExcluded(t *testing.T) {
+	mesh := cellMesh([]float64{1, 2, 100})
+	gh := array.New[uint8](grid.GhostArrayName, 1, 3)
+	gh.Set(2, 0, 1)
+	mesh.Attributes(grid.CellData).Add(gh)
+	ix := NewBinnedIndex(nil, "data", grid.CellData, 4)
+	d := &meshAdaptor{mesh: mesh}
+	if _, err := ix.Execute(d); err != nil {
+		t.Fatal(err)
+	}
+	// Ghosts set no bits: at most the one non-ghost candidate (value 2, in
+	// the straddling top bin) can appear in the upper bound. If the ghost's
+	// 100 leaked in, upper would be 2.
+	lower, upper, err := ix.CountAbove(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lower != 0 || upper > 1 {
+		t.Fatalf("ghost cell leaked into the index: bounds [%d, %d]", lower, upper)
+	}
+}
+
+func TestIndexMemoryAndRebuild(t *testing.T) {
+	mem := metrics.NewTracker()
+	ix := NewBinnedIndex(nil, "data", grid.CellData, 8)
+	ix.Memory = mem
+	d := &meshAdaptor{mesh: cellMesh(make([]float64, 100))}
+	if _, err := ix.Execute(d); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(8 * ((100 + 63) / 64) * 8)
+	if mem.Current() != want {
+		t.Fatalf("tracked=%d want %d", mem.Current(), want)
+	}
+	if ix.IndexBytes() != want {
+		t.Fatalf("IndexBytes=%d", ix.IndexBytes())
+	}
+	// Rebuilding replaces, not accumulates.
+	if _, err := ix.Execute(d); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Current() != want {
+		t.Fatalf("rebuild leaked: %d", mem.Current())
+	}
+	if err := ix.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Current() != 0 {
+		t.Fatalf("finalize leaked: %d", mem.Current())
+	}
+}
+
+func TestIndexQueryBeforeBuild(t *testing.T) {
+	ix := NewBinnedIndex(nil, "data", grid.CellData, 4)
+	if _, _, err := ix.CountAbove(0); err == nil {
+		t.Fatal("query before build accepted")
+	}
+	if ix.LocalSelection(0) != nil {
+		t.Fatal("selection before build")
+	}
+}
+
+func TestIndexFactory(t *testing.T) {
+	b := core.NewBridge(nil, nil, nil)
+	doc := []byte(`<sensei><analysis type="index" array="data" bins="16"/></sensei>`)
+	if err := core.ConfigureFromXML(b, doc); err != nil {
+		t.Fatal(err)
+	}
+	if b.AnalysisCount() != 1 {
+		t.Fatal("index factory missing")
+	}
+}

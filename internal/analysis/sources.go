@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"fmt"
+
+	"gosensei/internal/array"
+	"gosensei/internal/grid"
+)
+
+// ScalarSource is one (values, ghost) pair an analysis iterates. Ghost is
+// nil when the dataset carries no vtkGhostLevels array.
+type ScalarSource struct {
+	Values array.Array
+	Ghost  array.Array
+}
+
+// ScalarSources resolves the named array (plus any ghost array) from a
+// dataset, flattening MultiBlock collections into one source per local
+// block. Analyses written against this helper work identically on a single
+// block, a fan-in staged MultiBlock, or a post hoc merged container.
+func ScalarSources(mesh grid.Dataset, assoc grid.Association, name string) ([]ScalarSource, error) {
+	if mb, ok := mesh.(*grid.MultiBlock); ok {
+		var out []ScalarSource
+		for _, b := range mb.Blocks {
+			if b == nil {
+				continue
+			}
+			sub, err := ScalarSources(b, assoc, name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("no block has %s array %q", assoc, name)
+		}
+		return out, nil
+	}
+	a := mesh.Attributes(assoc).Get(name)
+	if a == nil {
+		return nil, fmt.Errorf("mesh has no %s array %q", assoc, name)
+	}
+	return []ScalarSource{{Values: a, Ghost: mesh.Attributes(assoc).Get(grid.GhostArrayName)}}, nil
+}
+
+// TotalTuples sums the tuple counts over sources.
+func TotalTuples(sources []ScalarSource) int {
+	n := 0
+	for _, s := range sources {
+		n += s.Values.Tuples()
+	}
+	return n
+}

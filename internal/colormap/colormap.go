@@ -1,0 +1,112 @@
+// Package colormap provides the transfer functions used for pseudocoloring
+// ("heatmap") rendering of scalar fields, as in the paper's Catalyst-slice
+// and Libsim-slice use cases.
+package colormap
+
+import (
+	"fmt"
+	"image/color"
+	"math"
+)
+
+// Stop is one control point of a colormap: a position in [0, 1] and a color.
+type Stop struct {
+	Pos     float64
+	R, G, B float64 // [0, 1]
+}
+
+// Map is a piecewise-linear colormap over [0, 1].
+type Map struct {
+	Name  string
+	Stops []Stop
+}
+
+// New builds a map from stops, which must be sorted by position with the
+// first at 0 and the last at 1.
+func New(name string, stops ...Stop) *Map {
+	if len(stops) < 2 {
+		panic("colormap: need at least two stops")
+	}
+	if stops[0].Pos != 0 || stops[len(stops)-1].Pos != 1 {
+		panic("colormap: stops must span [0, 1]")
+	}
+	for i := 1; i < len(stops); i++ {
+		if stops[i].Pos < stops[i-1].Pos {
+			panic(fmt.Sprintf("colormap: stops out of order at %d", i))
+		}
+	}
+	return &Map{Name: name, Stops: stops}
+}
+
+// At returns the interpolated color at t, clamped to [0, 1].
+func (m *Map) At(t float64) color.RGBA {
+	if math.IsNaN(t) {
+		t = 0
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	i := 1
+	for i < len(m.Stops)-1 && m.Stops[i].Pos < t {
+		i++
+	}
+	a, b := m.Stops[i-1], m.Stops[i]
+	f := 0.0
+	if b.Pos > a.Pos {
+		f = (t - a.Pos) / (b.Pos - a.Pos)
+	}
+	lerp := func(x, y float64) uint8 {
+		v := x + (y-x)*f
+		return uint8(math.Round(v * 255))
+	}
+	return color.RGBA{R: lerp(a.R, b.R), G: lerp(a.G, b.G), B: lerp(a.B, b.B), A: 255}
+}
+
+// Pseudocolor maps value v from [lo, hi] through the colormap.
+func (m *Map) Pseudocolor(v, lo, hi float64) color.RGBA {
+	if hi <= lo {
+		return m.At(0.5)
+	}
+	return m.At((v - lo) / (hi - lo))
+}
+
+// CoolWarm is the diverging blue-white-red map ParaView defaults to.
+func CoolWarm() *Map {
+	return New("cool-warm",
+		Stop{0, 0.23, 0.30, 0.75},
+		Stop{0.5, 0.87, 0.87, 0.87},
+		Stop{1, 0.71, 0.016, 0.15},
+	)
+}
+
+// Viridis approximates matplotlib's perceptually-uniform default.
+func Viridis() *Map {
+	return New("viridis",
+		Stop{0, 0.267, 0.005, 0.329},
+		Stop{0.25, 0.229, 0.322, 0.546},
+		Stop{0.5, 0.128, 0.567, 0.551},
+		Stop{0.75, 0.369, 0.789, 0.383},
+		Stop{1, 0.993, 0.906, 0.144},
+	)
+}
+
+// Gray is the linear grayscale ramp.
+func Gray() *Map {
+	return New("gray", Stop{0, 0, 0, 0}, Stop{1, 1, 1, 1})
+}
+
+// ByName returns a preset map by name.
+func ByName(name string) (*Map, error) {
+	switch name {
+	case "cool-warm", "coolwarm", "":
+		return CoolWarm(), nil
+	case "viridis":
+		return Viridis(), nil
+	case "gray", "grey":
+		return Gray(), nil
+	}
+	return nil, fmt.Errorf("colormap: unknown preset %q", name)
+}

@@ -1,0 +1,103 @@
+package colormap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtEndpoints(t *testing.T) {
+	m := Gray()
+	if c := m.At(0); c.R != 0 || c.G != 0 || c.B != 0 || c.A != 255 {
+		t.Fatalf("At(0)=%v", c)
+	}
+	if c := m.At(1); c.R != 255 || c.G != 255 || c.B != 255 {
+		t.Fatalf("At(1)=%v", c)
+	}
+	if c := m.At(0.5); c.R != 128 {
+		t.Fatalf("At(0.5)=%v", c)
+	}
+}
+
+func TestAtClampsAndHandlesNaN(t *testing.T) {
+	m := Gray()
+	if m.At(-5) != m.At(0) || m.At(7) != m.At(1) {
+		t.Fatal("clamping broken")
+	}
+	if m.At(math.NaN()) != m.At(0) {
+		t.Fatal("NaN not handled")
+	}
+}
+
+func TestPseudocolor(t *testing.T) {
+	m := Gray()
+	if m.Pseudocolor(5, 0, 10) != m.At(0.5) {
+		t.Fatal("midpoint wrong")
+	}
+	// Degenerate range falls back to the middle color.
+	if m.Pseudocolor(3, 3, 3) != m.At(0.5) {
+		t.Fatal("degenerate range not handled")
+	}
+}
+
+func TestMonotoneGrayProperty(t *testing.T) {
+	m := Gray()
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 1))
+		b = math.Abs(math.Mod(b, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return m.At(a).R <= m.At(b).R
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresetsByName(t *testing.T) {
+	for _, name := range []string{"cool-warm", "viridis", "gray", ""} {
+		m, err := ByName(name)
+		if err != nil || m == nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		// Full opacity everywhere.
+		for _, tt := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			if m.At(tt).A != 255 {
+				t.Fatalf("%s not opaque at %v", m.Name, tt)
+			}
+		}
+	}
+	if _, err := ByName("plasma-nope"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestCoolWarmDiverges(t *testing.T) {
+	m := CoolWarm()
+	lo := m.At(0)
+	hi := m.At(1)
+	if lo.B <= lo.R {
+		t.Fatal("low end should be blue")
+	}
+	if hi.R <= hi.B {
+		t.Fatal("high end should be red")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"too few stops": func() { New("x", Stop{0, 0, 0, 0}) },
+		"not spanning":  func() { New("x", Stop{0.1, 0, 0, 0}, Stop{1, 1, 1, 1}) },
+		"out of order":  func() { New("x", Stop{0, 0, 0, 0}, Stop{0.8, 0, 0, 0}, Stop{0.2, 0, 0, 0}, Stop{1, 1, 1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

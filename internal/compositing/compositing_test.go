@@ -1,0 +1,268 @@
+package compositing
+
+import (
+	"fmt"
+	"image/color"
+	"math"
+	"testing"
+
+	"gosensei/internal/mpi"
+	"gosensei/internal/render"
+)
+
+// rankImage builds a W x H framebuffer where rank r paints column block r
+// (of nRanks blocks) with color value r+1 at depth depending on mode.
+func rankImage(w, h, rank, nRanks int, depth float32) *render.Framebuffer {
+	fb := render.NewFramebuffer(w, h)
+	per := w / nRanks
+	lo := rank * per
+	hi := lo + per
+	if rank == nRanks-1 {
+		hi = w
+	}
+	c := color.RGBA{R: uint8(rank + 1), A: 255}
+	for y := 0; y < h; y++ {
+		for x := lo; x < hi; x++ {
+			fb.Set(x, y, c, depth)
+		}
+	}
+	return fb
+}
+
+func checkStripes(t *testing.T, final *render.Framebuffer, w, h, nRanks int) {
+	t.Helper()
+	per := w / nRanks
+	for x := 0; x < w; x++ {
+		rank := x / per
+		if rank >= nRanks {
+			rank = nRanks - 1
+		}
+		got := final.At(x, h/2).R
+		if got != uint8(rank+1) {
+			t.Fatalf("pixel x=%d: got %d want %d", x, got, rank+1)
+		}
+	}
+}
+
+func TestCompositeDisjointRegions(t *testing.T) {
+	for _, alg := range []Algorithm{BinarySwap, DirectSend} {
+		for _, n := range []int{1, 2, 3, 4, 5, 8} {
+			t.Run(fmt.Sprintf("%v/p%d", alg, n), func(t *testing.T) {
+				w, h := 24, 6
+				err := mpi.Run(n, func(c *mpi.Comm) error {
+					fb := rankImage(w, h, c.Rank(), n, 1)
+					final, err := Composite(c, fb, 0, alg)
+					if err != nil {
+						return err
+					}
+					if c.Rank() == 0 {
+						if final == nil {
+							t.Error("root got nil image")
+							return nil
+						}
+						checkStripes(t, final, w, h, n)
+					} else if final != nil {
+						t.Errorf("rank %d got non-nil image", c.Rank())
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestCompositeDepthResolution(t *testing.T) {
+	// All ranks paint the full frame; the rank with the smallest depth wins.
+	for _, alg := range []Algorithm{BinarySwap, DirectSend} {
+		n := 4
+		err := mpi.Run(n, func(c *mpi.Comm) error {
+			fb := render.NewFramebuffer(8, 8)
+			// Rank r paints at depth n - r: the highest rank is nearest.
+			col := color.RGBA{R: uint8(c.Rank() + 1), A: 255}
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					fb.Set(x, y, col, float32(n-c.Rank()))
+				}
+			}
+			final, err := Composite(c, fb, 0, alg)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						if final.At(x, y).R != uint8(n) {
+							t.Errorf("%v: pixel (%d,%d)=%d want %d", alg, x, y, final.At(x, y).R, n)
+							return nil
+						}
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCompositeNonzeroRoot(t *testing.T) {
+	for _, alg := range []Algorithm{BinarySwap, DirectSend} {
+		n := 6
+		root := 3
+		err := mpi.Run(n, func(c *mpi.Comm) error {
+			fb := rankImage(12, 4, c.Rank(), n, 1)
+			final, err := Composite(c, fb, root, alg)
+			if err != nil {
+				return err
+			}
+			if (c.Rank() == root) != (final != nil) {
+				t.Errorf("%v: rank %d final=%v", alg, c.Rank(), final != nil)
+			}
+			if c.Rank() == root {
+				checkStripes(t, final, 12, 4, n)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCompositeBackgroundStaysUnwritten(t *testing.T) {
+	n := 3
+	err := mpi.Run(n, func(c *mpi.Comm) error {
+		fb := render.NewFramebuffer(8, 2)
+		// Only rank 1 writes one pixel.
+		if c.Rank() == 1 {
+			fb.Set(5, 1, color.RGBA{R: 77, A: 255}, 2)
+		}
+		final, err := Composite(c, fb, 0, BinarySwap)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if final.At(5, 1).R != 77 {
+				t.Errorf("written pixel lost: %v", final.At(5, 1))
+			}
+			if final.NonBackgroundPixels() != 1 {
+				t.Errorf("background corrupted: %d pixels", final.NonBackgroundPixels())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStages(t *testing.T) {
+	if Stages(BinarySwap, 1) != 0 || Stages(DirectSend, 1) != 0 {
+		t.Fatal("single rank needs no stages")
+	}
+	if Stages(BinarySwap, 8) != 4 { // 3 swap rounds + gather
+		t.Fatalf("binary swap stages=%d", Stages(BinarySwap, 8))
+	}
+	if Stages(DirectSend, 8) != 3 {
+		t.Fatalf("direct send stages=%d", Stages(DirectSend, 8))
+	}
+	if Stages(DirectSend, 9) != 4 {
+		t.Fatalf("direct send stages(9)=%d", Stages(DirectSend, 9))
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if BinarySwap.String() != "binary-swap" || DirectSend.String() != "direct-send" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestOverCompositeOrdered(t *testing.T) {
+	// Three slabs along z: front (opaque red), middle (half green), back
+	// (opaque blue). The composite must be pure red regardless of which
+	// rank holds which slab.
+	for _, perm := range [][3]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}} {
+		perm := perm
+		err := mpi.Run(3, func(c *mpi.Comm) error {
+			// Rank r holds slab perm[r]; slab index is the order key.
+			slab := perm[c.Rank()]
+			img := render.NewAlphaImage(2, 2)
+			for i := 0; i < 4; i++ {
+				switch slab {
+				case 0:
+					img.Pix[i*4+0], img.Pix[i*4+3] = 1, 1
+				case 1:
+					img.Pix[i*4+1], img.Pix[i*4+3] = 0.5, 0.5
+				case 2:
+					img.Pix[i*4+2], img.Pix[i*4+3] = 1, 1
+				}
+			}
+			final, err := OverComposite(c, img, slab, 0)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				if final == nil {
+					t.Error("root got nil")
+					return nil
+				}
+				if final.Pix[0] != 1 || final.Pix[1] != 0 || final.Pix[2] != 0 || final.Pix[3] != 1 {
+					t.Errorf("perm %v: composite %v, want opaque red", perm, final.Pix[:4])
+				}
+			} else if final != nil {
+				t.Errorf("rank %d got an image", c.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOverCompositeSemiTransparentStack(t *testing.T) {
+	// Four half-opaque white slabs: accumulated alpha is 1 - 0.5^4.
+	for _, n := range []int{1, 2, 4, 5} {
+		n := n
+		err := mpi.Run(n, func(c *mpi.Comm) error {
+			img := render.NewAlphaImage(1, 1)
+			img.Pix[0], img.Pix[1], img.Pix[2], img.Pix[3] = 0.5, 0.5, 0.5, 0.5
+			final, err := OverComposite(c, img, c.Rank(), 0)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				want := 1 - math.Pow(0.5, float64(n))
+				if got := float64(final.Pix[3]); math.Abs(got-want) > 1e-6 {
+					t.Errorf("n=%d: alpha %v want %v", n, got, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOverCompositeNonzeroRoot(t *testing.T) {
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		img := render.NewAlphaImage(1, 1)
+		img.Pix[3] = 0.25
+		final, err := OverComposite(c, img, 10-c.Rank(), 2)
+		if err != nil {
+			return err
+		}
+		if (c.Rank() == 2) != (final != nil) {
+			t.Errorf("rank %d final=%v", c.Rank(), final != nil)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package compositing
+
+import (
+	"fmt"
+	"sort"
+
+	"gosensei/internal/mpi"
+	"gosensei/internal/render"
+)
+
+const tagOver = 110
+
+// OverComposite merges every rank's premultiplied-alpha image with the
+// *over* operator in strict front-to-back order along the view axis — the
+// compositing that direct volume rendering needs, where a depth test is
+// meaningless. orderKey is each rank's position along the view axis (e.g.
+// the brick's minimum cell index); smaller keys are nearer the viewer.
+//
+// Because over is associative, the ordered merge runs as a binomial
+// reduction over the *sorted* rank order (log P rounds of image-sized
+// messages, like the depth compositors). Rank root returns the final image;
+// all others return nil.
+func OverComposite(c *mpi.Comm, img *render.AlphaImage, orderKey int, root int) (*render.AlphaImage, error) {
+	p := c.Size()
+	// Agree on the front-to-back order: gather (key, rank) pairs.
+	pairs, err := mpi.Allgather(c, []int64{int64(orderKey), int64(c.Rank())})
+	if err != nil {
+		return nil, err
+	}
+	type kr struct{ key, rank int }
+	order := make([]kr, p)
+	for i := 0; i < p; i++ {
+		order[i] = kr{int(pairs[2*i]), int(pairs[2*i+1])}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].key != order[j].key {
+			return order[i].key < order[j].key
+		}
+		return order[i].rank < order[j].rank
+	})
+	pos := -1
+	rankAt := make([]int, p)
+	for i, e := range order {
+		rankAt[i] = e.rank
+		if e.rank == c.Rank() {
+			pos = i
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("compositing: rank %d missing from order", c.Rank())
+	}
+	// Binomial reduction over order positions: position i with bit s set
+	// sends to i - 2^s; receivers composite front OVER back.
+	for mask := 1; mask < p; mask <<= 1 {
+		if pos&mask != 0 {
+			dst := rankAt[pos&^mask]
+			mpi.Send(c, dst, tagOver, img.Pix)
+			if c.Rank() == root {
+				break
+			}
+			return nil, nil
+		}
+		back := pos | mask
+		if back < p {
+			data, _, err := mpi.Recv[float32](c, rankAt[back], tagOver)
+			if err != nil {
+				return nil, fmt.Errorf("compositing: over: %w", err)
+			}
+			if len(data) != len(img.Pix) {
+				return nil, fmt.Errorf("compositing: over: size mismatch %d vs %d", len(data), len(img.Pix))
+			}
+			backImg := &render.AlphaImage{W: img.W, H: img.H, Pix: data}
+			if err := img.Over(backImg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// The front-most position holds the final image; ship to root if needed.
+	if pos == 0 {
+		if c.Rank() == root {
+			return img, nil
+		}
+		mpi.Send(c, root, tagOver, img.Pix)
+		return nil, nil
+	}
+	if c.Rank() == root {
+		data, _, err := mpi.Recv[float32](c, rankAt[0], tagOver)
+		if err != nil {
+			return nil, err
+		}
+		return &render.AlphaImage{W: img.W, H: img.H, Pix: data}, nil
+	}
+	return nil, nil
+}

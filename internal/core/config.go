@@ -1,0 +1,168 @@
+package core
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gosensei/internal/metrics"
+	"gosensei/internal/mpi"
+)
+
+// Env is the per-rank environment handed to analysis factories: the
+// communicator and the rank's instrumentation sinks.
+type Env struct {
+	Comm     *mpi.Comm
+	Registry *metrics.Registry
+	Memory   *metrics.Tracker
+}
+
+// Factory builds an analysis adaptor from XML attributes. Factories are
+// registered by the packages implementing analyses and infrastructures
+// (histogram, autocorrelation, catalyst, libsim, adios, glean) from their
+// init functions, mirroring how SENSEI's ConfigurableAnalysis dispatches on
+// the "type" attribute.
+type Factory func(attrs Attrs, env *Env) (AnalysisAdaptor, error)
+
+var (
+	factoryMu sync.RWMutex
+	factories = map[string]Factory{}
+)
+
+// RegisterFactory makes a factory available under the given analysis type.
+// Registering a duplicate type panics: it is always a programming error.
+func RegisterFactory(typ string, f Factory) {
+	factoryMu.Lock()
+	defer factoryMu.Unlock()
+	if _, dup := factories[typ]; dup {
+		panic(fmt.Sprintf("core: duplicate analysis factory %q", typ))
+	}
+	factories[typ] = f
+}
+
+// FactoryTypes lists the registered analysis types, sorted.
+func FactoryTypes() []string {
+	factoryMu.RLock()
+	defer factoryMu.RUnlock()
+	out := make([]string, 0, len(factories))
+	for t := range factories {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lookupFactory(typ string) (Factory, bool) {
+	factoryMu.RLock()
+	defer factoryMu.RUnlock()
+	f, ok := factories[typ]
+	return f, ok
+}
+
+// Attrs holds one analysis element's XML attributes.
+type Attrs map[string]string
+
+// String returns the attribute value or the default if absent.
+func (a Attrs) String(key, def string) string {
+	if v, ok := a[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Int returns the attribute parsed as an int or the default if absent.
+func (a Attrs) Int(key string, def int) (int, error) {
+	v, ok := a[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("attribute %q: %w", key, err)
+	}
+	return n, nil
+}
+
+// Float returns the attribute parsed as a float64 or the default if absent.
+func (a Attrs) Float(key string, def float64) (float64, error) {
+	v, ok := a[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("attribute %q: %w", key, err)
+	}
+	return f, nil
+}
+
+// Bool returns the attribute parsed as a boolean ("1", "true", "yes" are
+// true) or the default if absent.
+func (a Attrs) Bool(key string, def bool) bool {
+	v, ok := a[key]
+	if !ok {
+		return def
+	}
+	switch strings.ToLower(v) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
+
+// xmlConfig mirrors the SENSEI configurable-analysis XML schema:
+//
+//	<sensei>
+//	  <analysis type="histogram" array="data" association="cell" bins="10"/>
+//	  <analysis type="catalyst" image-width="1920" image-height="1080"/>
+//	</sensei>
+type xmlConfig struct {
+	XMLName  xml.Name      `xml:"sensei"`
+	Analyses []xmlAnalysis `xml:"analysis"`
+}
+
+type xmlAnalysis struct {
+	Attrs []xml.Attr `xml:",any,attr"`
+}
+
+// ConfigureFromXML parses a SENSEI configuration document and registers the
+// described analyses on the bridge. Analyses with enabled="0" are skipped.
+// Each analysis is timed under its type name (plus an optional name
+// attribute for disambiguation).
+func ConfigureFromXML(b *Bridge, doc []byte) error {
+	var cfg xmlConfig
+	if err := xml.Unmarshal(doc, &cfg); err != nil {
+		return fmt.Errorf("core: parse sensei config: %w", err)
+	}
+	env := &Env{Comm: b.Comm, Registry: b.Registry, Memory: b.Memory}
+	for i, an := range cfg.Analyses {
+		attrs := Attrs{}
+		for _, a := range an.Attrs {
+			attrs[a.Name.Local] = a.Value
+		}
+		typ := attrs.String("type", "")
+		if typ == "" {
+			return fmt.Errorf("core: analysis element %d missing type attribute", i)
+		}
+		if !attrs.Bool("enabled", true) {
+			continue
+		}
+		f, ok := lookupFactory(typ)
+		if !ok {
+			return fmt.Errorf("core: unknown analysis type %q (registered: %s)", typ, strings.Join(FactoryTypes(), ", "))
+		}
+		a, err := f(attrs, env)
+		if err != nil {
+			return fmt.Errorf("core: build analysis %q: %w", typ, err)
+		}
+		label := typ
+		if n := attrs.String("name", ""); n != "" {
+			label = typ + ":" + n
+		}
+		b.AddAnalysis(label, a)
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+// Package core implements the paper's primary contribution: the SENSEI
+// generic data interface.
+//
+// The interface decouples three roles so each can vary independently:
+//
+//   - The simulation implements a DataAdaptor that lazily maps its native
+//     data structures onto the shared data model (packages grid and array),
+//     using zero-copy wrapping wherever layouts permit.
+//   - Analyses and in situ infrastructures implement AnalysisAdaptor and pull
+//     data through the DataAdaptor, never from the simulation directly.
+//   - The Bridge is the thin glue the simulation calls once per time step; it
+//     hands the data adaptor to every registered analysis adaptor and keeps
+//     the timing/memory instrumentation the paper's experiments report.
+//
+// Because infrastructures (Catalyst, Libsim, ADIOS, GLEAN) are themselves
+// just AnalysisAdaptors, a simulation instrumented once can use any of them —
+// the paper's "write once, use anywhere" property — and an analysis written
+// against DataAdaptor runs unmodified in situ, in transit, or post hoc.
+package core
+
+import (
+	"fmt"
+
+	"gosensei/internal/grid"
+	"gosensei/internal/metrics"
+	"gosensei/internal/mpi"
+)
+
+// DataAdaptor is the simulation-side half of the SENSEI interface. The
+// adaptor is expected to be lazy: Mesh and AddArray should construct or wrap
+// data only when called, so that an instrumented simulation with no enabled
+// analyses pays (almost) nothing.
+type DataAdaptor interface {
+	// Mesh returns the simulation's current mesh. With structureOnly set the
+	// adaptor may omit point coordinates and connectivity, returning only
+	// metadata-bearing structure (used by analyses that only need extents).
+	Mesh(structureOnly bool) (grid.Dataset, error)
+	// AddArray attaches the named simulation array to the mesh, wrapping
+	// simulation memory zero-copy when the layout allows.
+	AddArray(mesh grid.Dataset, assoc grid.Association, name string) error
+	// ArrayNames lists the arrays the simulation can provide.
+	ArrayNames(assoc grid.Association) ([]string, error)
+	// TimeStep returns the current simulation step index.
+	TimeStep() int
+	// Time returns the current simulation time.
+	Time() float64
+	// ReleaseData drops references to the simulation's per-step data; it is
+	// called by the bridge after all analyses ran.
+	ReleaseData() error
+}
+
+// AnalysisAdaptor is the analysis-side half of the interface. Execute is
+// called once per bridged time step; the return value reports whether the
+// simulation should continue (false requests an orderly stop, e.g. from an
+// interactive steering endpoint).
+type AnalysisAdaptor interface {
+	Execute(d DataAdaptor) (bool, error)
+	Finalize() error
+}
+
+// BaseDataAdaptor carries the step/time bookkeeping every data adaptor
+// needs; concrete adaptors embed it.
+type BaseDataAdaptor struct {
+	Step int
+	T    float64
+}
+
+// SetStep records the current step and time; the simulation's bridge calls
+// this before Execute.
+func (b *BaseDataAdaptor) SetStep(step int, t float64) { b.Step = step; b.T = t }
+
+// TimeStep implements part of DataAdaptor.
+func (b *BaseDataAdaptor) TimeStep() int { return b.Step }
+
+// Time implements part of DataAdaptor.
+func (b *BaseDataAdaptor) Time() float64 { return b.T }
+
+// namedAnalysis pairs an adaptor with the label used in timing events.
+type namedAnalysis struct {
+	name string
+	a    AnalysisAdaptor
+}
+
+// Bridge assembles the in situ workflow: one data adaptor per simulation,
+// any number of analysis adaptors. It is the only object the simulation's
+// time-stepping loop touches.
+type Bridge struct {
+	Comm     *mpi.Comm
+	Registry *metrics.Registry
+	Memory   *metrics.Tracker
+
+	analyses  []namedAnalysis
+	execCount int
+	stopped   bool
+}
+
+// NewBridge creates a bridge for one rank. registry and memory may be nil,
+// in which case fresh instances are created.
+func NewBridge(comm *mpi.Comm, registry *metrics.Registry, memory *metrics.Tracker) *Bridge {
+	if registry == nil {
+		rank := 0
+		if comm != nil {
+			rank = comm.Rank()
+		}
+		registry = metrics.NewRegistry(rank)
+	}
+	if memory == nil {
+		memory = metrics.NewTracker()
+	}
+	return &Bridge{Comm: comm, Registry: registry, Memory: memory}
+}
+
+// AddAnalysis registers an analysis adaptor under a timing label.
+func (b *Bridge) AddAnalysis(name string, a AnalysisAdaptor) {
+	b.analyses = append(b.analyses, namedAnalysis{name, a})
+}
+
+// AnalysisCount returns the number of registered analyses.
+func (b *Bridge) AnalysisCount() int { return len(b.analyses) }
+
+// Stopped reports whether any analysis requested an orderly stop.
+func (b *Bridge) Stopped() bool { return b.stopped }
+
+// Execute passes the current simulation state to every registered analysis.
+// Per-analysis wall time is logged as "analysis::<name>"; the total for the
+// step as "sensei::execute". It returns false when any analysis requests a
+// stop.
+func (b *Bridge) Execute(d DataAdaptor) (bool, error) {
+	step := d.TimeStep()
+	total := b.Registry.Timer("sensei::execute")
+	total.Start()
+	cont := true
+	var firstErr error
+	for _, na := range b.analyses {
+		var (
+			ok  bool
+			err error
+		)
+		b.Registry.Time("analysis::"+na.name, step, func() {
+			ok, err = na.a.Execute(d)
+		})
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("analysis %q at step %d: %w", na.name, step, err)
+		}
+		if !ok {
+			cont = false
+		}
+	}
+	d1 := total.Stop()
+	b.Registry.Log("sensei::execute-step", step, d1.Seconds())
+	b.execCount++
+	if !cont {
+		b.stopped = true
+	}
+	if err := d.ReleaseData(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("release data at step %d: %w", step, err)
+	}
+	return cont, firstErr
+}
+
+// Finalize finalizes every analysis (in registration order), logging the
+// wall time as "sensei::finalize".
+func (b *Bridge) Finalize() error {
+	var firstErr error
+	b.Registry.Time("sensei::finalize", b.execCount, func() {
+		for _, na := range b.analyses {
+			if err := na.a.Finalize(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("finalize %q: %w", na.name, err)
+			}
+		}
+	})
+	return firstErr
+}
+
+// FetchArray is a convenience for analyses: it obtains the mesh and attaches
+// the named array, returning both. Most concrete analyses start with this.
+func FetchArray(d DataAdaptor, assoc grid.Association, name string) (grid.Dataset, error) {
+	mesh, err := d.Mesh(false)
+	if err != nil {
+		return nil, fmt.Errorf("fetch mesh: %w", err)
+	}
+	if err := d.AddArray(mesh, assoc, name); err != nil {
+		return nil, fmt.Errorf("fetch array %q: %w", name, err)
+	}
+	return mesh, nil
+}
+
+// Strided wraps an analysis so it executes only every n-th bridge step,
+// finalizing normally. Catalyst and Libsim carry their own stride options;
+// this decorator gives the same cadence control to any analysis (the
+// AVF-LESLIE pattern of invoking an expensive pipeline one step in five).
+type Strided struct {
+	N     int
+	Inner AnalysisAdaptor
+	calls int
+}
+
+// EveryN wraps a in a Strided executing every n-th step (n < 1 acts as 1).
+func EveryN(n int, a AnalysisAdaptor) *Strided {
+	if n < 1 {
+		n = 1
+	}
+	return &Strided{N: n, Inner: a}
+}
+
+// Execute implements AnalysisAdaptor.
+func (s *Strided) Execute(d DataAdaptor) (bool, error) {
+	idx := s.calls
+	s.calls++
+	if idx%s.N != 0 {
+		return true, nil
+	}
+	return s.Inner.Execute(d)
+}
+
+// Finalize implements AnalysisAdaptor.
+func (s *Strided) Finalize() error { return s.Inner.Finalize() }
+
+// Executions reports how many times the inner analysis actually ran.
+func (s *Strided) Executions() int { return (s.calls + s.N - 1) / s.N }

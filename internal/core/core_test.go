@@ -1,0 +1,317 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gosensei/internal/array"
+	"gosensei/internal/grid"
+	"gosensei/internal/metrics"
+)
+
+// fakeAdaptor is a minimal DataAdaptor over a 2x2x2 image grid.
+type fakeAdaptor struct {
+	BaseDataAdaptor
+	data     []float64
+	released int
+	meshErr  error
+}
+
+func newFakeAdaptor() *fakeAdaptor {
+	return &fakeAdaptor{data: []float64{1, 2, 3, 4, 5, 6, 7, 8}}
+}
+
+func (f *fakeAdaptor) Mesh(structureOnly bool) (grid.Dataset, error) {
+	if f.meshErr != nil {
+		return nil, f.meshErr
+	}
+	return grid.NewImageData(grid.NewExtent3D(2, 2, 2)), nil
+}
+
+func (f *fakeAdaptor) AddArray(mesh grid.Dataset, assoc grid.Association, name string) error {
+	if name != "data" {
+		return fmt.Errorf("no array %q", name)
+	}
+	mesh.Attributes(assoc).Add(array.WrapAOS(name, 1, f.data))
+	return nil
+}
+
+func (f *fakeAdaptor) ArrayNames(assoc grid.Association) ([]string, error) {
+	return []string{"data"}, nil
+}
+
+func (f *fakeAdaptor) ReleaseData() error { f.released++; return nil }
+
+// recordingAnalysis records Execute/Finalize calls.
+type recordingAnalysis struct {
+	executed  []int
+	finalized bool
+	stopAt    int
+	execErr   error
+}
+
+func (r *recordingAnalysis) Execute(d DataAdaptor) (bool, error) {
+	r.executed = append(r.executed, d.TimeStep())
+	if r.execErr != nil {
+		return true, r.execErr
+	}
+	if r.stopAt > 0 && d.TimeStep() >= r.stopAt {
+		return false, nil
+	}
+	return true, nil
+}
+
+func (r *recordingAnalysis) Finalize() error { r.finalized = true; return nil }
+
+func TestBridgeExecutesAllAnalyses(t *testing.T) {
+	b := NewBridge(nil, nil, nil)
+	a1 := &recordingAnalysis{}
+	a2 := &recordingAnalysis{}
+	b.AddAnalysis("one", a1)
+	b.AddAnalysis("two", a2)
+	d := newFakeAdaptor()
+	for step := 0; step < 3; step++ {
+		d.SetStep(step, float64(step)*0.1)
+		cont, err := b.Execute(d)
+		if err != nil || !cont {
+			t.Fatalf("step %d: cont=%v err=%v", step, cont, err)
+		}
+	}
+	if len(a1.executed) != 3 || len(a2.executed) != 3 {
+		t.Fatalf("executions: %v %v", a1.executed, a2.executed)
+	}
+	if d.released != 3 {
+		t.Fatalf("ReleaseData called %d times", d.released)
+	}
+	if b.AnalysisCount() != 2 {
+		t.Fatalf("count=%d", b.AnalysisCount())
+	}
+}
+
+func TestBridgeTimingEvents(t *testing.T) {
+	b := NewBridge(nil, nil, nil)
+	b.AddAnalysis("hist", &recordingAnalysis{})
+	d := newFakeAdaptor()
+	d.SetStep(5, 0.5)
+	if _, err := b.Execute(d); err != nil {
+		t.Fatal(err)
+	}
+	evs := b.Registry.EventsNamed("analysis::hist")
+	if len(evs) != 1 || evs[0].Step != 5 {
+		t.Fatalf("events=%v", evs)
+	}
+	if len(b.Registry.EventsNamed("sensei::execute-step")) != 1 {
+		t.Fatal("missing execute-step event")
+	}
+}
+
+func TestBridgeStopRequest(t *testing.T) {
+	b := NewBridge(nil, nil, nil)
+	b.AddAnalysis("stopper", &recordingAnalysis{stopAt: 2})
+	d := newFakeAdaptor()
+	d.SetStep(2, 0.2)
+	cont, err := b.Execute(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cont || !b.Stopped() {
+		t.Fatal("stop not propagated")
+	}
+}
+
+func TestBridgeErrorWrapped(t *testing.T) {
+	b := NewBridge(nil, nil, nil)
+	sentinel := errors.New("kaput")
+	b.AddAnalysis("bad", &recordingAnalysis{execErr: sentinel})
+	ok := &recordingAnalysis{}
+	b.AddAnalysis("good", ok)
+	d := newFakeAdaptor()
+	d.SetStep(1, 0.1)
+	_, err := b.Execute(d)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err=%v", err)
+	}
+	// Later analyses still ran.
+	if len(ok.executed) != 1 {
+		t.Fatal("subsequent analysis skipped after error")
+	}
+}
+
+func TestBridgeFinalize(t *testing.T) {
+	b := NewBridge(nil, nil, nil)
+	a := &recordingAnalysis{}
+	b.AddAnalysis("a", a)
+	if err := b.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.finalized {
+		t.Fatal("finalize not called")
+	}
+	if b.Registry.Timer("sensei::finalize").Count() != 1 {
+		t.Fatal("finalize not timed")
+	}
+}
+
+func TestFetchArray(t *testing.T) {
+	d := newFakeAdaptor()
+	mesh, err := FetchArray(d, grid.CellData, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mesh.Attributes(grid.CellData).Get("data")
+	if a == nil || a.Tuples() != 8 {
+		t.Fatal("array not attached")
+	}
+	if _, err := FetchArray(d, grid.CellData, "missing"); err == nil {
+		t.Fatal("expected error for missing array")
+	}
+	d.meshErr = errors.New("no mesh")
+	if _, err := FetchArray(d, grid.CellData, "data"); err == nil {
+		t.Fatal("expected mesh error")
+	}
+}
+
+func TestAttrsParsing(t *testing.T) {
+	a := Attrs{"bins": "32", "width": "2.5", "enabled": "0", "name": "x"}
+	if v := a.String("name", "d"); v != "x" {
+		t.Fatalf("string=%q", v)
+	}
+	if v := a.String("absent", "d"); v != "d" {
+		t.Fatalf("default=%q", v)
+	}
+	if n, err := a.Int("bins", 1); err != nil || n != 32 {
+		t.Fatalf("int=%d err=%v", n, err)
+	}
+	if n, err := a.Int("absent", 7); err != nil || n != 7 {
+		t.Fatalf("int default=%d err=%v", n, err)
+	}
+	if _, err := a.Int("name", 0); err == nil {
+		t.Fatal("expected int parse error")
+	}
+	if f, err := a.Float("width", 0); err != nil || f != 2.5 {
+		t.Fatalf("float=%v err=%v", f, err)
+	}
+	if a.Bool("enabled", true) {
+		t.Fatal("enabled=0 parsed as true")
+	}
+	if !a.Bool("absent", true) {
+		t.Fatal("bool default wrong")
+	}
+}
+
+func TestConfigureFromXML(t *testing.T) {
+	RegisterFactory("test-recording", func(attrs Attrs, env *Env) (AnalysisAdaptor, error) {
+		if attrs.String("array", "") != "data" {
+			return nil, fmt.Errorf("bad attrs")
+		}
+		return &recordingAnalysis{}, nil
+	})
+	b := NewBridge(nil, nil, nil)
+	doc := []byte(`<sensei>
+		<analysis type="test-recording" array="data" name="first"/>
+		<analysis type="test-recording" array="data" enabled="0"/>
+	</sensei>`)
+	if err := ConfigureFromXML(b, doc); err != nil {
+		t.Fatal(err)
+	}
+	if b.AnalysisCount() != 1 {
+		t.Fatalf("count=%d (disabled analysis not skipped?)", b.AnalysisCount())
+	}
+}
+
+func TestConfigureFromXMLUnknownType(t *testing.T) {
+	b := NewBridge(nil, nil, nil)
+	err := ConfigureFromXML(b, []byte(`<sensei><analysis type="nope"/></sensei>`))
+	if err == nil || !strings.Contains(err.Error(), "unknown analysis type") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestConfigureFromXMLMissingType(t *testing.T) {
+	b := NewBridge(nil, nil, nil)
+	if err := ConfigureFromXML(b, []byte(`<sensei><analysis array="d"/></sensei>`)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestConfigureFromXMLBadDocument(t *testing.T) {
+	b := NewBridge(nil, nil, nil)
+	if err := ConfigureFromXML(b, []byte(`<not xml`)); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestRegisterFactoryDuplicatePanics(t *testing.T) {
+	RegisterFactory("test-dup", func(Attrs, *Env) (AnalysisAdaptor, error) { return nil, nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RegisterFactory("test-dup", func(Attrs, *Env) (AnalysisAdaptor, error) { return nil, nil })
+}
+
+func TestFactoryTypesSorted(t *testing.T) {
+	RegisterFactory("test-zzz", func(Attrs, *Env) (AnalysisAdaptor, error) { return nil, nil })
+	RegisterFactory("test-aaa", func(Attrs, *Env) (AnalysisAdaptor, error) { return nil, nil })
+	types := FactoryTypes()
+	for i := 1; i < len(types); i++ {
+		if types[i-1] >= types[i] {
+			t.Fatalf("not sorted: %v", types)
+		}
+	}
+}
+
+func TestNewBridgeDefaults(t *testing.T) {
+	b := NewBridge(nil, nil, nil)
+	if b.Registry == nil || b.Memory == nil {
+		t.Fatal("defaults not created")
+	}
+	reg := metrics.NewRegistry(3)
+	mem := metrics.NewTracker()
+	b2 := NewBridge(nil, reg, mem)
+	if b2.Registry != reg || b2.Memory != mem {
+		t.Fatal("provided sinks not used")
+	}
+}
+
+func TestEveryNStride(t *testing.T) {
+	inner := &recordingAnalysis{}
+	s := EveryN(3, inner)
+	d := newFakeAdaptor()
+	for step := 0; step < 7; step++ {
+		d.SetStep(step, 0)
+		if _, err := s.Execute(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(inner.executed) != 3 { // steps 0, 3, 6
+		t.Fatalf("executed=%v", inner.executed)
+	}
+	if inner.executed[1] != 3 {
+		t.Fatalf("executed=%v", inner.executed)
+	}
+	if s.Executions() != 3 {
+		t.Fatalf("Executions=%d", s.Executions())
+	}
+	if err := s.Finalize(); err != nil || !inner.finalized {
+		t.Fatal("finalize not forwarded")
+	}
+}
+
+func TestEveryNDegenerate(t *testing.T) {
+	inner := &recordingAnalysis{}
+	s := EveryN(0, inner) // clamps to 1
+	d := newFakeAdaptor()
+	for step := 0; step < 3; step++ {
+		d.SetStep(step, 0)
+		if _, err := s.Execute(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(inner.executed) != 3 {
+		t.Fatalf("executed=%v", inner.executed)
+	}
+}

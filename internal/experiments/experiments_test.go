@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"gosensei/internal/compositing"
+	"gosensei/internal/iosim"
+	"gosensei/internal/machine"
+	"gosensei/internal/perfmodel"
+)
+
+func testOptions() Options {
+	o := DefaultOptions()
+	o.RealRanks = 4
+	o.RealCells = 16
+	o.RealSteps = 6
+	o.ImageW = 48
+	o.ImageH = 32
+	return o
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	opt := testOptions()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(opt)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			s := tab.String()
+			// Ablation tables are real-rows-only; everything else carries
+			// model rows, and all but the pure-model I/O tables carry real
+			// rows.
+			if e.ID != "abl-zerocopy" && !strings.Contains(s, "model") {
+				t.Errorf("%s: no model rows in\n%s", e.ID, s)
+			}
+			if e.ID != "tab1" && e.ID != "nyxio" && !strings.Contains(s, "real") {
+				t.Errorf("%s: no real rows in\n%s", e.ID, s)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunMiniappAllConfigurations(t *testing.T) {
+	opt := testOptions()
+	for _, cfg := range AllConfigurations() {
+		r, err := RunMiniapp(cfg, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if r.Total <= 0 || r.SimPerStep <= 0 {
+			t.Errorf("%s: degenerate timings %+v", cfg, r)
+		}
+		if r.MemHighWater <= 0 {
+			t.Errorf("%s: no memory tracked", cfg)
+		}
+		switch cfg {
+		case CatalystSlice, LibsimSlice:
+			if r.ImagesWritten != opt.RealSteps {
+				t.Errorf("%s: images=%d want %d", cfg, r.ImagesWritten, opt.RealSteps)
+			}
+		}
+	}
+}
+
+func TestSENSEIOverheadNegligible(t *testing.T) {
+	// The Fig. 3 claim, asserted on real executions: Original (subroutine
+	// call) and SENSEI Autocorrelation differ by far less than 2x (they run
+	// identical kernels; only the interface differs). Generous bound because
+	// CI timing is noisy at millisecond scale.
+	opt := testOptions()
+	opt.RealCells = 24
+	orig, err := RunMiniapp(Original, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensei, err := RunMiniapp(AutocorrelationCfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := sensei.Total / orig.Total
+	if ratio > 1.8 || ratio < 0.55 {
+		t.Fatalf("SENSEI overhead out of bounds: ratio=%.2f (orig %.4fs, sensei %.4fs)",
+			ratio, orig.Total, sensei.Total)
+	}
+	// And identical memory accounting: zero-copy means the same buffers.
+	if orig.MemHighWater != sensei.MemHighWater {
+		t.Fatalf("memory differs: %d vs %d", orig.MemHighWater, sensei.MemHighWater)
+	}
+}
+
+func TestBaselineCheaperThanAnalyses(t *testing.T) {
+	opt := testOptions()
+	base, err := RunMiniapp(Baseline, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := RunMiniapp(AutocorrelationCfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.AnalysisPer > auto.AnalysisPer {
+		t.Fatalf("baseline bridge call (%.6fs) costs more than autocorrelation (%.6fs)",
+			base.AnalysisPer, auto.AnalysisPer)
+	}
+	if base.MemHighWater >= auto.MemHighWater {
+		t.Fatal("autocorrelation windows should raise the high-water mark")
+	}
+}
+
+func TestWriteDominatesAtScaleModel(t *testing.T) {
+	// Fig. 10's shape: write/sim per-step ratio ~0.1x at 1K, >2x at 6K,
+	// >10x at 45K.
+	opt := testOptions()
+	cori := perfmodel.New(machine.Cori(), opt.Calibration)
+	m := iosim.NewModel(machine.Cori().IO, 1)
+	ratios := make([]float64, 0, 3)
+	for _, s := range PaperScales() {
+		sim := cori.OscillatorStepTime(s.CellsPerRank, paperDeckOscillators)
+		write := m.WriteTime(iosim.FilePerProcess, s.Cores, s.StepBytes())
+		ratios = append(ratios, write/sim)
+	}
+	if ratios[0] > 1.5 {
+		t.Errorf("1K write/sim ratio too high: %.2f (paper: little impact)", ratios[0])
+	}
+	if ratios[1] < 3 || ratios[1] > 12 {
+		t.Errorf("6K write/sim ratio off: %.2f (paper ~4x)", ratios[1])
+	}
+	if ratios[2] < 15 {
+		t.Errorf("45K write/sim ratio too low: %.2f (paper ~20x)", ratios[2])
+	}
+	if !(ratios[0] < ratios[1] && ratios[1] < ratios[2]) {
+		t.Errorf("ratios not increasing: %v", ratios)
+	}
+}
+
+func TestRealPosthocPipeline(t *testing.T) {
+	opt := testOptions()
+	dir, err := os.MkdirTemp("", "gosensei-posthoc-test-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	w, err := RunBaselineWithIO(opt, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.WritePerStep <= 0 || w.BytesPerStep <= 0 {
+		t.Fatalf("write run degenerate: %+v", w)
+	}
+	for _, wl := range []ADIOSWorkload{ADIOSHistogram, ADIOSAutocorrelation, ADIOSCatalystSlice} {
+		r, err := RunPosthoc(dir, opt.RealRanks, 2, wl, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if r.Read <= 0 || r.Process <= 0 {
+			t.Errorf("%s: degenerate posthoc timings %+v", wl, r)
+		}
+	}
+}
+
+func TestADIOSStagingDeliversAllSteps(t *testing.T) {
+	opt := testOptions()
+	r, err := RunADIOS(ADIOSHistogram, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AdvancePerStep < 0 || r.TransferPerStep <= 0 {
+		t.Fatalf("writer timings degenerate: %+v", r)
+	}
+	if r.EndpointInit <= 0 || r.EndpointPerStep <= 0 {
+		t.Fatalf("endpoint timings degenerate: %+v", r)
+	}
+}
+
+func TestTable2ImageSizeDrivesRealCost(t *testing.T) {
+	opt := testOptions()
+	opt.RealSteps = 4
+	_, smallPer, _, err := RunPHASTAReal(opt, 60, 16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bigPer, _, err := RunPHASTAReal(opt, 480, 128, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigPer <= smallPer {
+		t.Fatalf("64x more pixels should cost more: small=%.5fs big=%.5fs", smallPer, bigPer)
+	}
+}
+
+func TestPNGAblationReal(t *testing.T) {
+	opt := testOptions()
+	opt.RealSteps = 4
+	opt.RealRanks = 2
+	_, with, _, err := RunPHASTAReal(opt, 600, 300, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, without, _, err := RunPHASTAReal(opt, 600, 300, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compression must not be cheaper than skipping it (the paper saw ~8x;
+	// at this miniature scale we only demand the direction).
+	if with < without*0.8 {
+		t.Fatalf("skipping compression should not slow things: with=%.5fs without=%.5fs", with, without)
+	}
+}
+
+func TestLESLIESpikesEveryFifthStep(t *testing.T) {
+	opt := testOptions()
+	opt.RealSteps = 10
+	_, events, err := RunLESLIEReal(opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 10 {
+		t.Fatalf("events=%d", len(events))
+	}
+	var fire, skip float64
+	var nf, ns int
+	for _, e := range events {
+		if e.Step%5 == 0 {
+			fire += e.Seconds
+			nf++
+		} else {
+			skip += e.Seconds
+			ns++
+		}
+	}
+	if nf == 0 || ns == 0 {
+		t.Fatal("bad partition")
+	}
+	if fire/float64(nf) <= skip/float64(ns) {
+		t.Fatalf("firing steps (%.5fs avg) should dwarf skips (%.5fs avg)",
+			fire/float64(nf), skip/float64(ns))
+	}
+}
+
+func TestNyxAnalysisNegligibleReal(t *testing.T) {
+	// Fig. 17's claim on real executions: the PM solver step costs far more
+	// than a histogram of the density field.
+	opt := testOptions()
+	opt.RealCells = 16
+	opt.RealSteps = 3
+	solver, _, err := RunNyxReal(opt, "baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hist, err := RunNyxReal(opt, "histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist > solver {
+		t.Fatalf("histogram (%.5fs) should be cheaper than a PM step (%.5fs)", hist, solver)
+	}
+}
+
+func TestInSituBeatsPosthocAtScaleModel(t *testing.T) {
+	// The paper's headline comparison: at 45K, 100 steps of in situ
+	// histogram beat 100 steps of writes alone.
+	opt := testOptions()
+	cori := perfmodel.New(machine.Cori(), opt.Calibration)
+	m := iosim.NewModel(machine.Cori().IO, 1)
+	s := PaperScales()[2]
+	steps := 100.0
+	sim := cori.OscillatorStepTime(s.CellsPerRank, paperDeckOscillators)
+	inSitu := steps * (sim + cori.HistogramStepTime(s.Cores, s.CellsPerRank, opt.Bins))
+	postHocWrites := steps * (sim + m.WriteTime(iosim.FilePerProcess, s.Cores, s.StepBytes()))
+	if inSitu >= postHocWrites/3 {
+		t.Fatalf("in situ (%.0fs) should be far below post hoc writes (%.0fs)", inSitu, postHocWrites)
+	}
+	// Even the most expensive in situ configuration (Libsim 1600^2) wins.
+	libsim := steps * (sim + cori.SliceRenderStepTime(compositing.DirectSend, s.Cores, 1600, 1600, sliceIntersectFraction(s.Cores)))
+	if libsim >= postHocWrites {
+		t.Fatalf("libsim in situ (%.0fs) should beat post hoc writes (%.0fs)", libsim, postHocWrites)
+	}
+}
+
+func TestSliceIntersectFraction(t *testing.T) {
+	f := sliceIntersectFraction(4096) // 16^3
+	if f <= 0 || f > 0.2 {
+		t.Fatalf("fraction=%v", f)
+	}
+	if sliceIntersectFraction(8) != 0.5 {
+		t.Fatalf("8 ranks (2x2x2) should give 1/2, got %v", sliceIntersectFraction(8))
+	}
+}
+
+func TestFig6AnalysisOrderingModel(t *testing.T) {
+	// Fig. 6's per-step cost ordering at every paper scale:
+	// baseline < histogram < autocorrelation < catalyst < libsim.
+	opt := testOptions()
+	cori := perfmodel.New(machine.Cori(), opt.Calibration)
+	for _, s := range PaperScales() {
+		hist := cori.HistogramStepTime(s.Cores, s.CellsPerRank, opt.Bins)
+		auto := cori.AutocorrelationStepTime(s.CellsPerRank, opt.Window)
+		cat := cori.SliceRenderStepTime(compositing.BinarySwap, s.Cores, 1920, 1080, sliceIntersectFraction(s.Cores))
+		lib := cori.SliceRenderStepTime(compositing.DirectSend, s.Cores, 1600, 1600, sliceIntersectFraction(s.Cores))
+		if !(hist < auto && auto < cat && cat < lib) {
+			t.Errorf("%s: ordering broken: hist=%.4f auto=%.4f catalyst=%.4f libsim=%.4f",
+				s.Label, hist, auto, cat, lib)
+		}
+		// The simulation term dwarfs the light analyses (weak-scaling story).
+		sim := cori.OscillatorStepTime(s.CellsPerRank, paperDeckOscillators)
+		if hist > sim/10 {
+			t.Errorf("%s: histogram (%.4f) should be <10%% of sim (%.4f)", s.Label, hist, sim)
+		}
+	}
+}
+
+func TestFig5LibsimInitLinearity(t *testing.T) {
+	// Fig. 5's callout: Libsim init grows ~linearly with rank count while
+	// Catalyst init stays flat.
+	opt := testOptions()
+	cori := perfmodel.New(machine.Cori(), opt.Calibration)
+	scales := PaperScales()
+	l1 := cori.LibsimInitTime(scales[0].Cores)
+	l45 := cori.LibsimInitTime(scales[2].Cores)
+	ratio := l45 / l1
+	rankRatio := float64(scales[2].Cores) / float64(scales[0].Cores)
+	if ratio < rankRatio*0.8 || ratio > rankRatio*1.2 {
+		t.Errorf("libsim init growth %.1fx, rank growth %.1fx", ratio, rankRatio)
+	}
+	c1 := cori.CatalystInitTime(scales[0].Cores)
+	c45 := cori.CatalystInitTime(scales[2].Cores)
+	if c45 > 3*c1 {
+		t.Errorf("catalyst init should stay near-flat: %.4f -> %.4f", c1, c45)
+	}
+}

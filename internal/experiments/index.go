@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gosensei/internal/metrics"
+)
+
+// Experiment binds a paper artifact to its harness.
+type Experiment struct {
+	// ID is the short handle used on the command line (e.g. "fig3").
+	ID string
+	// Artifact names the paper table/figure.
+	Artifact string
+	// Summary states what the artifact shows.
+	Summary string
+	// Run produces the table.
+	Run func(Options) (*metrics.Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig3", "Figure 3", "time to solution, Original vs SENSEI Autocorrelation", Fig3},
+		{"fig4", "Figure 4", "memory footprint, Original vs SENSEI Autocorrelation", Fig4},
+		{"fig5", "Figure 5", "one-time costs per configuration", Fig5},
+		{"fig6", "Figure 6", "per-time-step costs per configuration", Fig6},
+		{"fig7", "Figure 7", "startup footprint vs high-water memory", Fig7},
+		{"fig8", "Figure 8", "ADIOS/FlexPath writer costs", Fig8},
+		{"fig9", "Figure 9", "ADIOS/FlexPath endpoint timings", Fig9},
+		{"tab1", "Table 1", "VTK multi-file vs MPI-IO write times", Table1},
+		{"fig10", "Figure 10", "Baseline vs Baseline+I/O per-step breakdown", Fig10},
+		{"fig11", "Figure 11", "post hoc read/process/write at 10% cores", Fig11},
+		{"fig12", "Figure 12", "in situ time to solution, weak scaling", Fig12},
+		{"tab2", "Table 2", "PHASTA IS1/IS2/IS3 in situ costs", Table2},
+		{"tab2png", "Table 2 ablation", "PNG compression on vs off", Table2PNG},
+		{"fig15", "Figure 15", "AVF-LESLIE strong scaling with Libsim", Fig15},
+		{"fig16", "Figure 16", "per-iteration SENSEI cost, Libsim every 5 steps", Fig16},
+		{"fig17", "Figure 17", "Nyx solver vs histogram/slice analysis", Fig17},
+		{"nyxio", "§4.2.3", "Nyx plot-file writes and executable size", NyxPosthoc},
+		{"abl-zerocopy", "§3.2 design choice", "zero-copy vs copying data adaptor", ZeroCopyAblation},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

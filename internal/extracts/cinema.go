@@ -1,0 +1,361 @@
+// Package extracts implements the "explorable data products" direction the
+// SC16 SENSEI paper surveys in §2.2.4 (Globus 1995; Ye 2013; Ahrens 2014's
+// Cinema): instead of one fixed view, the in situ step renders a database of
+// images over a sweep of camera angles and isovalues, plus a JSON index, so
+// that *post hoc* exploration — changing viewpoint or contour level — needs
+// only the tiny extract store, never the full-resolution data.
+//
+// The paper notes these methods "will be run in situ, most likely using one
+// of the infrastructures we study"; accordingly the Cinema writer here is an
+// ordinary core.AnalysisAdaptor sharing the same rendering and compositing
+// substrate as the Catalyst and Libsim adaptors.
+package extracts
+
+import (
+	"encoding/json"
+	"fmt"
+	"image/color"
+	"math"
+	"os"
+	"path/filepath"
+
+	"gosensei/internal/colormap"
+	"gosensei/internal/compositing"
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+	"gosensei/internal/metrics"
+	"gosensei/internal/mpi"
+	"gosensei/internal/render"
+)
+
+func init() {
+	core.RegisterFactory("cinema", func(attrs core.Attrs, env *core.Env) (core.AnalysisAdaptor, error) {
+		w, err := attrs.Int("image-width", 256)
+		if err != nil {
+			return nil, err
+		}
+		h, err := attrs.Int("image-height", 256)
+		if err != nil {
+			return nil, err
+		}
+		nPhi, err := attrs.Int("phi-count", 4)
+		if err != nil {
+			return nil, err
+		}
+		nTheta, err := attrs.Int("theta-count", 2)
+		if err != nil {
+			return nil, err
+		}
+		iso, err := attrs.Float("iso", 0.5)
+		if err != nil {
+			return nil, err
+		}
+		cm, err := colormap.ByName(attrs.String("colormap", "viridis"))
+		if err != nil {
+			return nil, err
+		}
+		spec := Spec{
+			ArrayName: attrs.String("array", "data"),
+			IsoValues: []float64{iso},
+			Phi:       orbit(nPhi, 0, 360),
+			Theta:     orbit(nTheta, 15, 75),
+			Width:     w,
+			Height:    h,
+			OutputDir: attrs.String("output-dir", "cinema-store"),
+			Map:       cm,
+		}
+		a := New(env.Comm, spec)
+		a.Registry = env.Registry
+		return a, nil
+	})
+}
+
+// orbit returns n angles evenly spread over [lo, hi) degrees.
+func orbit(n int, lo, hi float64) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	return out
+}
+
+// Spec describes one Cinema-style extract database.
+type Spec struct {
+	// ArrayName is the cell scalar to contour (converted to points).
+	ArrayName string
+	// IsoValues are the contour levels in NORMALIZED [0, 1] data range;
+	// every step maps them onto that step's global [min, max].
+	IsoValues []float64
+	// Phi are azimuth angles in degrees; Theta are elevations.
+	Phi, Theta []float64
+	// Width, Height size every image.
+	Width, Height int
+	// OutputDir receives the store: images plus index.json.
+	OutputDir string
+	// Map colors the surfaces by the contoured scalar.
+	Map *colormap.Map
+	// Stride runs the extract every Stride-th step.
+	Stride int
+}
+
+// Validate checks the spec.
+func (s *Spec) Validate() error {
+	if s.ArrayName == "" {
+		return fmt.Errorf("extracts: array name required")
+	}
+	if len(s.IsoValues) == 0 || len(s.Phi) == 0 || len(s.Theta) == 0 {
+		return fmt.Errorf("extracts: need at least one isovalue, phi, and theta")
+	}
+	for _, v := range s.IsoValues {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("extracts: isovalue %v outside normalized [0,1]", v)
+		}
+	}
+	if s.Width <= 0 || s.Height <= 0 {
+		return fmt.Errorf("extracts: invalid image size %dx%d", s.Width, s.Height)
+	}
+	if s.OutputDir == "" {
+		return fmt.Errorf("extracts: output dir required")
+	}
+	return nil
+}
+
+// Entry is one image of the database.
+type Entry struct {
+	File  string  `json:"file"`
+	Step  int     `json:"step"`
+	Time  float64 `json:"time"`
+	Iso   float64 `json:"iso"`
+	Phi   float64 `json:"phi"`
+	Theta float64 `json:"theta"`
+}
+
+// Index is the store's machine-readable catalog (the role of Cinema's
+// info.json): the swept parameters and every image keyed by them.
+type Index struct {
+	Array   string    `json:"array"`
+	Width   int       `json:"width"`
+	Height  int       `json:"height"`
+	Isos    []float64 `json:"isos"`
+	Phis    []float64 `json:"phis"`
+	Thetas  []float64 `json:"thetas"`
+	Entries []Entry   `json:"entries"`
+}
+
+// Lookup finds the entry for exact (step, iso, phi, theta), if present.
+func (ix *Index) Lookup(step int, iso, phi, theta float64) (Entry, bool) {
+	for _, e := range ix.Entries {
+		if e.Step == step && e.Iso == iso && e.Phi == phi && e.Theta == theta {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Cinema is the extract-writing analysis adaptor.
+type Cinema struct {
+	Comm     *mpi.Comm
+	Spec     Spec
+	Registry *metrics.Registry
+
+	index     Index
+	execIndex int
+}
+
+// New builds the adaptor; the spec is validated at first Execute.
+func New(c *mpi.Comm, spec Spec) *Cinema {
+	if spec.Stride <= 0 {
+		spec.Stride = 1
+	}
+	if spec.Map == nil {
+		spec.Map = colormap.Viridis()
+	}
+	return &Cinema{Comm: c, Spec: spec}
+}
+
+// ImageCount reports the database size so far (rank 0).
+func (cn *Cinema) ImageCount() int { return len(cn.index.Entries) }
+
+func (cn *Cinema) reg() *metrics.Registry {
+	if cn.Registry == nil {
+		cn.Registry = metrics.NewRegistry(0)
+	}
+	return cn.Registry
+}
+
+// Execute implements core.AnalysisAdaptor: for every (iso, phi, theta)
+// combination, extract the isosurface, render from the orbit camera,
+// composite, and store the image from rank 0.
+func (cn *Cinema) Execute(d core.DataAdaptor) (bool, error) {
+	if err := cn.Spec.Validate(); err != nil {
+		return false, err
+	}
+	idx := cn.execIndex
+	cn.execIndex++
+	if idx%cn.Spec.Stride != 0 {
+		return true, nil
+	}
+	step := d.TimeStep()
+	mesh, err := core.FetchArray(d, grid.CellData, cn.Spec.ArrayName)
+	if err != nil {
+		return false, err
+	}
+	img, ok := mesh.(*grid.ImageData)
+	if !ok {
+		return false, fmt.Errorf("extracts: cinema supports structured data, got %v", mesh.Kind())
+	}
+	// Shared scalar range and bounds.
+	lo, hi, bounds, err := cn.globalRange(img)
+	if err != nil {
+		return false, err
+	}
+	if err := render.CellToPointScalars(img, cn.Spec.ArrayName); err != nil {
+		return false, err
+	}
+	center := render.Vec3{
+		(bounds[0] + bounds[1]) / 2, (bounds[2] + bounds[3]) / 2, (bounds[4] + bounds[5]) / 2,
+	}
+	diag := render.Vec3{bounds[1] - bounds[0], bounds[3] - bounds[2], bounds[5] - bounds[4]}.Norm()
+	if diag == 0 {
+		diag = 1
+	}
+	for _, isoN := range cn.Spec.IsoValues {
+		iso := lo + isoN*(hi-lo)
+		tris, err := render.Isosurface(img, cn.Spec.ArrayName, iso, "")
+		if err != nil {
+			return false, err
+		}
+		for _, phi := range cn.Spec.Phi {
+			for _, theta := range cn.Spec.Theta {
+				fb := render.NewFramebuffer(cn.Spec.Width, cn.Spec.Height)
+				cam, err := orbitCamera(center, diag, phi, theta)
+				if err != nil {
+					return false, err
+				}
+				cm := cn.Spec.Map
+				render.RenderMesh(fb, cam, tris, func(s float64) color.RGBA {
+					return cm.Pseudocolor(s, lo, hi)
+				})
+				var final *render.Framebuffer
+				cn.reg().Time("cinema::composite", step, func() {
+					final, err = compositing.Composite(cn.Comm, fb, 0, compositing.BinarySwap)
+				})
+				if err != nil {
+					return false, err
+				}
+				if final == nil {
+					continue // not rank 0
+				}
+				if err := cn.store(final, step, d.Time(), isoN, phi, theta); err != nil {
+					return false, err
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// orbitCamera places the eye on a sphere around the domain.
+func orbitCamera(center render.Vec3, diag, phiDeg, thetaDeg float64) (*render.Camera, error) {
+	phi := phiDeg * math.Pi / 180
+	theta := thetaDeg * math.Pi / 180
+	dir := render.Vec3{
+		math.Cos(theta) * math.Cos(phi),
+		math.Sin(theta),
+		math.Cos(theta) * math.Sin(phi),
+	}
+	eye := center.Add(dir.Scale(diag * 2))
+	up := render.Vec3{0, 1, 0}
+	if math.Abs(dir[1]) > 0.99 {
+		up = render.Vec3{1, 0, 0}
+	}
+	return render.NewCamera(eye, center, up, diag*1.2)
+}
+
+func (cn *Cinema) globalRange(img *grid.ImageData) (lo, hi float64, bounds [6]float64, err error) {
+	arr := img.Attributes(grid.CellData).Get(cn.Spec.ArrayName)
+	if arr == nil {
+		return 0, 0, bounds, fmt.Errorf("extracts: mesh lacks cell array %q", cn.Spec.ArrayName)
+	}
+	l, h := arr.Range(0)
+	lb := img.Bounds()
+	sendLo := []float64{l, lb[0], lb[2], lb[4]}
+	sendHi := []float64{h, lb[1], lb[3], lb[5]}
+	recvLo := make([]float64, 4)
+	recvHi := make([]float64, 4)
+	if cn.Comm != nil {
+		if err := mpi.Allreduce(cn.Comm, sendLo, recvLo, mpi.OpMin); err != nil {
+			return 0, 0, bounds, err
+		}
+		if err := mpi.Allreduce(cn.Comm, sendHi, recvHi, mpi.OpMax); err != nil {
+			return 0, 0, bounds, err
+		}
+	} else {
+		copy(recvLo, sendLo)
+		copy(recvHi, sendHi)
+	}
+	bounds = [6]float64{recvLo[1], recvHi[1], recvLo[2], recvHi[2], recvLo[3], recvHi[3]}
+	return recvLo[0], recvHi[0], bounds, nil
+}
+
+// store writes one image and records its index entry (rank 0 only).
+func (cn *Cinema) store(final *render.Framebuffer, step int, time, iso, phi, theta float64) error {
+	final.FillBackground(color.RGBA{R: 10, G: 10, B: 14, A: 255})
+	if err := os.MkdirAll(cn.Spec.OutputDir, 0o755); err != nil {
+		return fmt.Errorf("extracts: %w", err)
+	}
+	name := fmt.Sprintf("s%05d_i%.3f_p%06.1f_t%05.1f.png", step, iso, phi, theta)
+	f, err := os.Create(filepath.Join(cn.Spec.OutputDir, name))
+	if err != nil {
+		return fmt.Errorf("extracts: %w", err)
+	}
+	defer f.Close()
+	var werr error
+	cn.reg().Time("cinema::png", step, func() {
+		_, werr = render.WritePNG(f, final, render.PNGOptions{})
+	})
+	if werr != nil {
+		return werr
+	}
+	cn.index.Entries = append(cn.index.Entries, Entry{
+		File: name, Step: step, Time: time, Iso: iso, Phi: phi, Theta: theta,
+	})
+	return nil
+}
+
+// Finalize implements core.AnalysisAdaptor: rank 0 writes index.json.
+func (cn *Cinema) Finalize() error {
+	if cn.Comm != nil && cn.Comm.Rank() != 0 {
+		return nil
+	}
+	if len(cn.index.Entries) == 0 {
+		return nil
+	}
+	cn.index.Array = cn.Spec.ArrayName
+	cn.index.Width = cn.Spec.Width
+	cn.index.Height = cn.Spec.Height
+	cn.index.Isos = cn.Spec.IsoValues
+	cn.index.Phis = cn.Spec.Phi
+	cn.index.Thetas = cn.Spec.Theta
+	doc, err := json.MarshalIndent(&cn.index, "", "  ")
+	if err != nil {
+		return fmt.Errorf("extracts: %w", err)
+	}
+	return os.WriteFile(filepath.Join(cn.Spec.OutputDir, "index.json"), doc, 0o644)
+}
+
+// LoadIndex reads a store's catalog for post hoc exploration.
+func LoadIndex(dir string) (*Index, error) {
+	doc, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		return nil, fmt.Errorf("extracts: %w", err)
+	}
+	var ix Index
+	if err := json.Unmarshal(doc, &ix); err != nil {
+		return nil, fmt.Errorf("extracts: parse index: %w", err)
+	}
+	return &ix, nil
+}

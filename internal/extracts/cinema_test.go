@@ -1,0 +1,174 @@
+package extracts
+
+import (
+	"image/png"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gosensei/internal/core"
+	"gosensei/internal/mpi"
+	"gosensei/internal/oscillator"
+)
+
+func runCinema(t *testing.T, nRanks, steps int, spec Spec) *Index {
+	t.Helper()
+	cfg := oscillator.Config{
+		GlobalCells: [3]int{12, 12, 12},
+		DT:          0.1,
+		Steps:       steps,
+		Oscillators: oscillator.DefaultDeck(12),
+	}
+	err := mpi.Run(nRanks, func(c *mpi.Comm) error {
+		s, err := oscillator.NewSim(c, cfg, nil)
+		if err != nil {
+			return err
+		}
+		cn := New(c, spec)
+		b := core.NewBridge(c, nil, nil)
+		b.AddAnalysis("cinema", cn)
+		d := oscillator.NewDataAdaptor(s)
+		for i := 0; i < cfg.Steps; i++ {
+			if err := s.Step(); err != nil {
+				return err
+			}
+			d.Update()
+			if _, err := b.Execute(d); err != nil {
+				return err
+			}
+		}
+		return b.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := LoadIndex(spec.OutputDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func baseSpec(dir string) Spec {
+	return Spec{
+		ArrayName: "data",
+		IsoValues: []float64{0.4, 0.7},
+		Phi:       []float64{0, 90},
+		Theta:     []float64{30},
+		Width:     48,
+		Height:    48,
+		OutputDir: dir,
+	}
+}
+
+func TestCinemaStoreComplete(t *testing.T) {
+	dir := t.TempDir()
+	steps := 2
+	ix := runCinema(t, 2, steps, baseSpec(dir))
+	// 2 steps x 2 isos x 2 phis x 1 theta = 8 images.
+	want := steps * 2 * 2 * 1
+	if len(ix.Entries) != want {
+		t.Fatalf("entries=%d want %d", len(ix.Entries), want)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.png"))
+	if len(files) != want {
+		t.Fatalf("images=%d want %d", len(files), want)
+	}
+	// Every image decodes at the declared size.
+	f, err := os.Open(filepath.Join(dir, ix.Entries[0].File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	img, err := png.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 48 || img.Bounds().Dy() != 48 {
+		t.Fatalf("image bounds %v", img.Bounds())
+	}
+}
+
+func TestCinemaLookup(t *testing.T) {
+	dir := t.TempDir()
+	ix := runCinema(t, 1, 2, baseSpec(dir))
+	e, ok := ix.Lookup(2, 0.7, 90, 30)
+	if !ok {
+		t.Fatalf("entry not found; have %+v", ix.Entries)
+	}
+	if e.File == "" || e.Step != 2 {
+		t.Fatalf("entry=%+v", e)
+	}
+	if _, ok := ix.Lookup(99, 0.7, 90, 30); ok {
+		t.Fatal("phantom entry")
+	}
+}
+
+func TestCinemaStride(t *testing.T) {
+	dir := t.TempDir()
+	spec := baseSpec(dir)
+	spec.Stride = 2
+	spec.IsoValues = []float64{0.5}
+	spec.Phi = []float64{0}
+	ix := runCinema(t, 1, 4, spec)
+	// Executions 0 and 2 fire -> 2 images.
+	if len(ix.Entries) != 2 {
+		t.Fatalf("entries=%d want 2", len(ix.Entries))
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := baseSpec("x")
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string]func(*Spec){
+		"no array":   func(s *Spec) { s.ArrayName = "" },
+		"no isos":    func(s *Spec) { s.IsoValues = nil },
+		"bad iso":    func(s *Spec) { s.IsoValues = []float64{1.5} },
+		"no phi":     func(s *Spec) { s.Phi = nil },
+		"bad size":   func(s *Spec) { s.Width = 0 },
+		"no out dir": func(s *Spec) { s.OutputDir = "" },
+	} {
+		bad := baseSpec("x")
+		mut(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestOrbitAngles(t *testing.T) {
+	a := orbit(4, 0, 360)
+	if len(a) != 4 || a[0] != 0 || a[1] != 90 || a[3] != 270 {
+		t.Fatalf("orbit=%v", a)
+	}
+	if got := orbit(0, 0, 360); len(got) != 1 {
+		t.Fatalf("orbit(0)=%v", got)
+	}
+}
+
+func TestFactoryRegistered(t *testing.T) {
+	dir := t.TempDir()
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		b := core.NewBridge(c, nil, nil)
+		doc := []byte(`<sensei><analysis type="cinema" array="data" phi-count="2" theta-count="1"
+			image-width="32" image-height="32" output-dir="` + dir + `"/></sensei>`)
+		if err := core.ConfigureFromXML(b, doc); err != nil {
+			return err
+		}
+		if b.AnalysisCount() != 1 {
+			t.Error("cinema factory missing")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadIndexMissing(t *testing.T) {
+	if _, err := LoadIndex(t.TempDir()); err == nil {
+		t.Fatal("missing index accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Package freeproc implements a Freeprocessing-style coupling (Fogal et al.
+// 2014), one of the alternative simplified interfaces the SC16 SENSEI paper
+// surveys in §2.2.5: instead of instrumenting the simulation, the library
+// intercepts "the results being written to disk and us[es] that to
+// construct the grids and fields".
+//
+// The paper's criticism — which this package exists to make measurable — is
+// that interception "has the potential for multiple data copies: the
+// simulation may make an initial data copy to prepare it for a specific
+// file format and then another data copy from the file format to the in
+// situ processing engine". Both copies are real here and registered with
+// the memory tracker, so the benchmark suite can put the SENSEI zero-copy
+// adaptor and the interposer side by side.
+package freeproc
+
+import (
+	"bytes"
+	"fmt"
+
+	"gosensei/internal/adios"
+	"gosensei/internal/core"
+	"gosensei/internal/metrics"
+)
+
+// Interposer captures a simulation's file writes and feeds the
+// reconstructed datasets to a SENSEI bridge. The simulation keeps calling
+// its ordinary "write a step file" routine; it never sees the bridge.
+type Interposer struct {
+	Bridge *core.Bridge
+	// Memory, when set, accounts for the two interception copies.
+	Memory *metrics.Tracker
+
+	steps int
+}
+
+// New builds an interposer over a bridge.
+func New(b *core.Bridge) *Interposer { return &Interposer{Bridge: b} }
+
+// Steps reports how many intercepted writes were analyzed.
+func (ip *Interposer) Steps() int { return ip.steps }
+
+// StepWriter is the io.Writer the simulation's output routine writes its
+// serialized step into; Close reconstructs the dataset and runs the bridge.
+type StepWriter struct {
+	ip  *Interposer
+	buf bytes.Buffer
+}
+
+// NewStepWriter starts intercepting one step file.
+func (ip *Interposer) NewStepWriter() *StepWriter {
+	return &StepWriter{ip: ip}
+}
+
+// Write implements io.Writer: the bytes the simulation produced for the
+// file format — interception copy #1.
+func (w *StepWriter) Write(p []byte) (int, error) {
+	n, err := w.buf.Write(p)
+	if err == nil && w.ip.Memory != nil {
+		w.ip.Memory.Alloc("freeproc/capture", int64(n))
+	}
+	return n, err
+}
+
+// Close ends the intercepted write: the captured file-format bytes are
+// decoded back into a dataset — interception copy #2 — and handed to the
+// bridge as a staged step.
+func (w *StepWriter) Close() error {
+	defer func() {
+		if w.ip.Memory != nil {
+			w.ip.Memory.FreeAll("freeproc/capture")
+			w.ip.Memory.FreeAll("freeproc/decoded")
+		}
+	}()
+	img, step, tm, err := adios.DecodeStep(w.buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("freeproc: intercepted write is not a recognized step file: %w", err)
+	}
+	if w.ip.Memory != nil {
+		w.ip.Memory.Alloc("freeproc/decoded", img.ByteSize())
+	}
+	da := &adios.StagedDataAdaptor{Data: img}
+	da.SetStep(step, tm)
+	if _, err := w.ip.Bridge.Execute(da); err != nil {
+		return err
+	}
+	w.ip.steps++
+	return nil
+}
+
+// Finalize finalizes the bridge once the simulation stops writing.
+func (ip *Interposer) Finalize() error { return ip.Bridge.Finalize() }

@@ -1,0 +1,142 @@
+package freeproc
+
+import (
+	"testing"
+
+	"gosensei/internal/adios"
+	"gosensei/internal/analysis"
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+	"gosensei/internal/metrics"
+	"gosensei/internal/mpi"
+	"gosensei/internal/oscillator"
+)
+
+func TestInterceptionAnalyzesWrites(t *testing.T) {
+	cfg := oscillator.Config{
+		GlobalCells: [3]int{8, 8, 8},
+		DT:          0.1,
+		Steps:       3,
+		Oscillators: oscillator.DefaultDeck(8),
+	}
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		sim, err := oscillator.NewSim(c, cfg, nil)
+		if err != nil {
+			return err
+		}
+		b := core.NewBridge(c, nil, nil)
+		h := analysis.NewHistogram(c, "data", grid.CellData, 8)
+		b.AddAnalysis("histogram", h)
+		ip := New(b)
+
+		d := oscillator.NewDataAdaptor(sim)
+		for i := 0; i < cfg.Steps; i++ {
+			if err := sim.Step(); err != nil {
+				return err
+			}
+			// The simulation's normal output path: serialize the step and
+			// write it to "a file" — which is the interposer.
+			d.Update()
+			mesh, err := d.Mesh(false)
+			if err != nil {
+				return err
+			}
+			if err := d.AddArray(mesh, grid.CellData, "data"); err != nil {
+				return err
+			}
+			w := ip.NewStepWriter()
+			payload := adios.EncodeStep(mesh.(*grid.ImageData), sim.StepIndex(), sim.Time())
+			if _, err := w.Write(payload); err != nil {
+				return err
+			}
+			if err := w.Close(); err != nil {
+				return err
+			}
+			_ = d.ReleaseData()
+		}
+		if err := ip.Finalize(); err != nil {
+			return err
+		}
+		if ip.Steps() != cfg.Steps {
+			t.Errorf("intercepted %d steps, want %d", ip.Steps(), cfg.Steps)
+		}
+		if c.Rank() == 0 {
+			if h.Last == nil || h.Last.Total() != 8*8*8/2 {
+				// Each rank intercepts only its own block; histogram still
+				// reduces globally: total is the full grid.
+				if h.Last == nil || h.Last.Total() != 8*8*8 {
+					t.Errorf("histogram=%+v", h.Last)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterceptionPaysTwoCopies(t *testing.T) {
+	// The §2.2.5 criticism, quantified: the interposer's tracked high-water
+	// mark covers the captured file bytes plus the decoded dataset — versus
+	// zero for the SENSEI zero-copy adaptor.
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		sim, err := oscillator.NewSim(c, oscillator.Config{
+			GlobalCells: [3]int{8, 8, 8}, DT: 0.1, Steps: 1,
+			Oscillators: oscillator.DefaultDeck(8),
+		}, nil)
+		if err != nil {
+			return err
+		}
+		if err := sim.Step(); err != nil {
+			return err
+		}
+		mem := metrics.NewTracker()
+		b := core.NewBridge(c, nil, nil)
+		b.AddAnalysis("histogram", analysis.NewHistogram(c, "data", grid.CellData, 4))
+		ip := New(b)
+		ip.Memory = mem
+
+		d := oscillator.NewDataAdaptor(sim)
+		d.Update()
+		mesh, _ := d.Mesh(false)
+		if err := d.AddArray(mesh, grid.CellData, "data"); err != nil {
+			return err
+		}
+		w := ip.NewStepWriter()
+		payload := adios.EncodeStep(mesh.(*grid.ImageData), 1, 0.1)
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		dataBytes := int64(8 * 8 * 8 * 8)
+		if mem.HighWater() < 2*dataBytes {
+			t.Errorf("interception high water %d, want >= 2x data (%d): both copies must be real",
+				mem.HighWater(), 2*dataBytes)
+		}
+		if mem.Current() != 0 {
+			t.Errorf("interception buffers leaked: %d", mem.Current())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterceptionRejectsGarbage(t *testing.T) {
+	b := core.NewBridge(nil, nil, nil)
+	ip := New(b)
+	w := ip.NewStepWriter()
+	if _, err := w.Write([]byte("definitely not a step file")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("garbage write accepted")
+	}
+	if ip.Steps() != 0 {
+		t.Fatal("garbage counted as a step")
+	}
+}

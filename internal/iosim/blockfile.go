@@ -1,0 +1,177 @@
+package iosim
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"gosensei/internal/array"
+	"gosensei/internal/grid"
+)
+
+// blockHeader is the self-describing metadata of one block file.
+type blockHeader struct {
+	Magic   string
+	Version int
+	Extent  grid.Extent
+	Origin  [3]float64
+	Spacing [3]float64
+	Step    int
+	Time    float64
+}
+
+const (
+	blockMagic   = "gosensei-block"
+	blockVersion = 1
+)
+
+// blockArray is the serialized form of one attribute array.
+type blockArray struct {
+	Name   string
+	Assoc  int // grid.Association
+	Comps  int
+	Values []float64 // AOS order
+}
+
+// blockFile is the gob payload: the real "VTK multi-file" format of this
+// reproduction. Every rank writes one blockFile per step.
+type blockFile struct {
+	Header blockHeader
+	Arrays []blockArray
+}
+
+// BlockPath names the file for one (step, rank) pair under dir.
+func BlockPath(dir string, step, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("step%05d_rank%05d.blk", step, rank))
+}
+
+// WriteBlock serializes an image-data block with all its attributes.
+func WriteBlock(w io.Writer, img *grid.ImageData, step int, time float64) error {
+	bf := blockFile{
+		Header: blockHeader{
+			Magic:   blockMagic,
+			Version: blockVersion,
+			Extent:  img.Extent,
+			Origin:  img.Origin,
+			Spacing: img.Spacing,
+			Step:    step,
+			Time:    time,
+		},
+	}
+	for _, assoc := range []grid.Association{grid.PointData, grid.CellData} {
+		fd := img.Attributes(assoc)
+		for i := 0; i < fd.Len(); i++ {
+			a := fd.At(i)
+			ba := blockArray{Name: a.Name(), Assoc: int(assoc), Comps: a.Components()}
+			ba.Values = make([]float64, a.Tuples()*a.Components())
+			for t := 0; t < a.Tuples(); t++ {
+				for c := 0; c < a.Components(); c++ {
+					ba.Values[t*a.Components()+c] = a.Value(t, c)
+				}
+			}
+			bf.Arrays = append(bf.Arrays, ba)
+		}
+	}
+	return gob.NewEncoder(w).Encode(&bf)
+}
+
+// ReadBlock deserializes a block file back into image data.
+func ReadBlock(r io.Reader) (*grid.ImageData, int, float64, error) {
+	var bf blockFile
+	if err := gob.NewDecoder(r).Decode(&bf); err != nil {
+		return nil, 0, 0, fmt.Errorf("iosim: decode block: %w", err)
+	}
+	if bf.Header.Magic != blockMagic {
+		return nil, 0, 0, fmt.Errorf("iosim: not a block file (magic %q)", bf.Header.Magic)
+	}
+	if bf.Header.Version != blockVersion {
+		return nil, 0, 0, fmt.Errorf("iosim: unsupported block version %d", bf.Header.Version)
+	}
+	img := grid.NewImageData(bf.Header.Extent)
+	img.Origin = bf.Header.Origin
+	img.Spacing = bf.Header.Spacing
+	for _, ba := range bf.Arrays {
+		a := array.WrapAOS(ba.Name, ba.Comps, ba.Values)
+		img.Attributes(grid.Association(ba.Assoc)).Add(a)
+	}
+	return img, bf.Header.Step, bf.Header.Time, nil
+}
+
+// WriteBlockFile writes a block to its canonical path, creating dir.
+func WriteBlockFile(dir string, rank int, img *grid.ImageData, step int, time float64) (int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("iosim: %w", err)
+	}
+	path := BlockPath(dir, step, rank)
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("iosim: %w", err)
+	}
+	defer f.Close()
+	if err := WriteBlock(f, img, step, time); err != nil {
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// ReadBlockFile reads the block for one (step, rank) pair.
+func ReadBlockFile(dir string, step, rank int) (*grid.ImageData, int, float64, error) {
+	f, err := os.Open(BlockPath(dir, step, rank))
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("iosim: %w", err)
+	}
+	defer f.Close()
+	return ReadBlock(f)
+}
+
+// ListSteps scans dir and returns the sorted distinct step indices present.
+func ListSteps(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("iosim: %w", err)
+	}
+	seen := map[int]bool{}
+	for _, e := range entries {
+		var step, rank int
+		if _, err := fmt.Sscanf(e.Name(), "step%05d_rank%05d.blk", &step, &rank); err == nil {
+			seen[step] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+// RanksOf returns the sorted rank indices present for a step.
+func RanksOf(dir string, step int) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("iosim: %w", err)
+	}
+	var out []int
+	for _, e := range entries {
+		var s, rank int
+		if _, err := fmt.Sscanf(e.Name(), "step%05d_rank%05d.blk", &s, &rank); err == nil && s == step {
+			out = append(out, rank)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}

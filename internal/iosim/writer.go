@@ -1,0 +1,105 @@
+package iosim
+
+import (
+	"fmt"
+
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+	"gosensei/internal/metrics"
+	"gosensei/internal/mpi"
+)
+
+func init() {
+	core.RegisterFactory("vtk-writer", func(attrs core.Attrs, env *core.Env) (core.AnalysisAdaptor, error) {
+		dir := attrs.String("dir", "")
+		if dir == "" {
+			return nil, fmt.Errorf("iosim: vtk-writer needs a dir attribute")
+		}
+		stride, err := attrs.Int("stride", 1)
+		if err != nil {
+			return nil, err
+		}
+		w := NewBlockWriter(env.Comm, dir)
+		w.Stride = stride
+		w.Registry = env.Registry
+		return w, nil
+	})
+}
+
+// BlockWriter is the "VTK multi-file I/O" path as a SENSEI analysis
+// adaptor: every rank writes its block to its own file each (strided) step
+// — the traditional post hoc producer, configurable from the same XML as
+// any in situ analysis. cmd/posthoc consumes its output.
+type BlockWriter struct {
+	Comm *mpi.Comm
+	Dir  string
+	// Stride writes every Stride-th step.
+	Stride   int
+	Registry *metrics.Registry
+
+	execIndex    int
+	BytesWritten int64
+	StepsWritten int
+}
+
+// NewBlockWriter builds a writer into dir.
+func NewBlockWriter(c *mpi.Comm, dir string) *BlockWriter {
+	return &BlockWriter{Comm: c, Dir: dir, Stride: 1}
+}
+
+func (w *BlockWriter) reg() *metrics.Registry {
+	if w.Registry == nil {
+		rank := 0
+		if w.Comm != nil {
+			rank = w.Comm.Rank()
+		}
+		w.Registry = metrics.NewRegistry(rank)
+	}
+	return w.Registry
+}
+
+// Execute implements core.AnalysisAdaptor: attach every available array and
+// write the block file.
+func (w *BlockWriter) Execute(d core.DataAdaptor) (bool, error) {
+	idx := w.execIndex
+	w.execIndex++
+	if w.Stride > 1 && idx%w.Stride != 0 {
+		return true, nil
+	}
+	mesh, err := d.Mesh(false)
+	if err != nil {
+		return false, err
+	}
+	for _, assoc := range []grid.Association{grid.PointData, grid.CellData} {
+		names, err := d.ArrayNames(assoc)
+		if err != nil {
+			return false, err
+		}
+		for _, n := range names {
+			if err := d.AddArray(mesh, assoc, n); err != nil {
+				return false, err
+			}
+		}
+	}
+	img, ok := mesh.(*grid.ImageData)
+	if !ok {
+		return false, fmt.Errorf("iosim: vtk-writer supports structured data, got %v", mesh.Kind())
+	}
+	rank := 0
+	if w.Comm != nil {
+		rank = w.Comm.Rank()
+	}
+	var n int64
+	w.reg().Time("vtkio::write", d.TimeStep(), func() {
+		n, err = WriteBlockFile(w.Dir, rank, img, d.TimeStep(), d.Time())
+	})
+	if err != nil {
+		return false, err
+	}
+	w.BytesWritten += n
+	w.StepsWritten++
+	return true, nil
+}
+
+// Finalize implements core.AnalysisAdaptor.
+func (w *BlockWriter) Finalize() error { return nil }

@@ -1,0 +1,118 @@
+package leslie
+
+import (
+	"fmt"
+
+	"gosensei/internal/array"
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+	"gosensei/internal/metrics"
+)
+
+// DataAdaptor exposes the TML solver through the SENSEI interface. As the
+// paper describes the AVF-LESLIE instrumentation, the adaptor "calculates
+// vorticity magnitude and exposes data array slices (to remove ghost
+// cells)": primitive fields wrap solver memory views, while vorticity is a
+// derived array computed on demand.
+type DataAdaptor struct {
+	core.BaseDataAdaptor
+	S *Solver
+	// Memory, when set, accounts for derived-array allocations.
+	Memory *metrics.Tracker
+
+	mesh      *grid.ImageData
+	vorticity []float64 // cached per step
+}
+
+// NewDataAdaptor wraps a solver.
+func NewDataAdaptor(s *Solver) *DataAdaptor { return &DataAdaptor{S: s} }
+
+// Update points the adaptor at the solver's current step.
+func (d *DataAdaptor) Update() { d.SetStep(d.S.StepIndex(), d.S.Time()) }
+
+// Mesh implements core.DataAdaptor: the local block as image data with the
+// physical cell size; ghosts are excluded (the arrays below carry owned
+// cells only).
+func (d *DataAdaptor) Mesh(structureOnly bool) (grid.Dataset, error) {
+	if d.mesh == nil {
+		n := d.S.LocalDims()
+		off := d.S.GlobalOffset()
+		img := grid.NewImageData(grid.Extent{
+			off[0], off[0] + n[0],
+			off[1], off[1] + n[1],
+			off[2], off[2] + n[2],
+		})
+		img.Spacing = d.S.dx
+		d.mesh = img
+	}
+	return d.mesh, nil
+}
+
+// AddArray implements core.DataAdaptor. "vorticity" is derived on demand;
+// "density" and "pressure" are extracted (the solver's ghosted layout
+// prevents a direct wrap, so these are the paper's "data array slices").
+func (d *DataAdaptor) AddArray(mesh grid.Dataset, assoc grid.Association, name string) error {
+	if assoc != grid.CellData {
+		return fmt.Errorf("leslie: only cell arrays are exposed, not %s %q", assoc, name)
+	}
+	img, ok := mesh.(*grid.ImageData)
+	if !ok {
+		return fmt.Errorf("leslie: mesh is %T", mesh)
+	}
+	switch name {
+	case "vorticity":
+		if d.vorticity == nil {
+			if err := d.S.ExchangeGhosts(); err != nil {
+				return err
+			}
+			d.vorticity = d.S.VorticityMagnitude()
+			if d.Memory != nil {
+				d.Memory.Alloc("leslie/vorticity", int64(len(d.vorticity))*8)
+			}
+		}
+		img.Attributes(grid.CellData).Add(array.WrapAOS(name, 1, d.vorticity))
+		return nil
+	case "density", "pressure":
+		vals := make([]float64, d.S.LocalCells())
+		pos := 0
+		for k := 0; k < d.S.n[2]; k++ {
+			for j := 0; j < d.S.n[1]; j++ {
+				for i := 0; i < d.S.n[0]; i++ {
+					rho, _, _, _, p := d.S.primitive(d.S.idx(i, j, k))
+					if name == "density" {
+						vals[pos] = rho
+					} else {
+						vals[pos] = p
+					}
+					pos++
+				}
+			}
+		}
+		if d.Memory != nil {
+			d.Memory.Alloc("leslie/"+name, int64(len(vals))*8)
+		}
+		img.Attributes(grid.CellData).Add(array.WrapAOS(name, 1, vals))
+		return nil
+	}
+	return fmt.Errorf("leslie: no cell array %q (have vorticity, density, pressure)", name)
+}
+
+// ArrayNames implements core.DataAdaptor.
+func (d *DataAdaptor) ArrayNames(assoc grid.Association) ([]string, error) {
+	if assoc == grid.CellData {
+		return []string{"vorticity", "density", "pressure"}, nil
+	}
+	return nil, nil
+}
+
+// ReleaseData implements core.DataAdaptor.
+func (d *DataAdaptor) ReleaseData() error {
+	d.mesh = nil
+	d.vorticity = nil
+	if d.Memory != nil {
+		d.Memory.FreeAll("leslie/vorticity")
+		d.Memory.FreeAll("leslie/density")
+		d.Memory.FreeAll("leslie/pressure")
+	}
+	return nil
+}

@@ -1,0 +1,556 @@
+// Package libsim implements the VisIt-Libsim-flavored in situ infrastructure
+// of this reproduction. Visualizations are described by XML session files
+// (VisIt saves these from its GUI); the adaptor parses the session on every
+// rank at initialization — reproducing the per-rank configuration-file
+// checks behind the paper's ~3.5 s Libsim init at 45K cores — then renders
+// the configured plots (pseudocolor slices and isosurfaces), composites with
+// a direct-send tree, and writes a PNG from rank 0 (default image
+// 1600x1600, per the paper).
+package libsim
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"image/color"
+	"io"
+	"os"
+	"path/filepath"
+
+	"gosensei/internal/colormap"
+	"gosensei/internal/compositing"
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+	"gosensei/internal/live"
+	"gosensei/internal/metrics"
+	"gosensei/internal/mpi"
+	"gosensei/internal/render"
+)
+
+func init() {
+	core.RegisterFactory("libsim", func(attrs core.Attrs, env *core.Env) (core.AnalysisAdaptor, error) {
+		path := attrs.String("session", "")
+		var (
+			session *Session
+			err     error
+		)
+		if path != "" {
+			session, err = LoadSession(path)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			// A minimal default session: one z slice of "data".
+			session = DefaultSliceSession(attrs.String("array", "data"), 0)
+		}
+		if w, werr := attrs.Int("image-width", 0); werr == nil && w > 0 {
+			session.Image.Width = w
+		}
+		if h, herr := attrs.Int("image-height", 0); herr == nil && h > 0 {
+			session.Image.Height = h
+		}
+		stride, err := attrs.Int("stride", 1)
+		if err != nil {
+			return nil, err
+		}
+		a := NewAdaptor(env.Comm, session, Options{
+			OutputDir:   attrs.String("output-dir", ""),
+			Stride:      stride,
+			SessionPath: path,
+		})
+		a.Registry = env.Registry
+		a.Memory = env.Memory
+		return a, nil
+	})
+}
+
+// Session is a parsed VisIt-style session file.
+type Session struct {
+	XMLName xml.Name    `xml:"session"`
+	Plots   []Plot      `xml:"plot"`
+	Image   ImageConfig `xml:"image"`
+}
+
+// Plot is one visualization layer.
+type Plot struct {
+	// Type is "slice" (pseudocolor plane) or "isosurface".
+	Type  string `xml:"type,attr"`
+	Array string `xml:"array,attr"`
+	// Association is "cell" or "point" (default cell; isosurfaces convert).
+	Association string `xml:"association,attr"`
+	// Slice parameters.
+	Axis  string  `xml:"axis,attr"`
+	Coord float64 `xml:"coord,attr"`
+	// Isosurface parameters.
+	Value   float64 `xml:"value,attr"`
+	ColorBy string  `xml:"color-by,attr"`
+	// Volume parameters: per-unit-length opacity of the normalized scalar.
+	Opacity float64 `xml:"opacity,attr"`
+	// Colormap preset name.
+	Colormap string `xml:"colormap,attr"`
+}
+
+// ImageConfig sets the output image size.
+type ImageConfig struct {
+	Width  int `xml:"width,attr"`
+	Height int `xml:"height,attr"`
+}
+
+// ParseSession parses session XML.
+func ParseSession(doc []byte) (*Session, error) {
+	var s Session
+	if err := xml.Unmarshal(doc, &s); err != nil {
+		return nil, fmt.Errorf("libsim: parse session: %w", err)
+	}
+	if len(s.Plots) == 0 {
+		return nil, fmt.Errorf("libsim: session has no plots")
+	}
+	if s.Image.Width <= 0 {
+		s.Image.Width = 1600
+	}
+	if s.Image.Height <= 0 {
+		s.Image.Height = 1600
+	}
+	volumes := 0
+	for i, p := range s.Plots {
+		switch p.Type {
+		case "slice", "isosurface":
+		case "volume":
+			volumes++
+		default:
+			return nil, fmt.Errorf("libsim: plot %d has unknown type %q", i, p.Type)
+		}
+		if p.Array == "" {
+			return nil, fmt.Errorf("libsim: plot %d missing array", i)
+		}
+	}
+	// Volume rendering uses ordered over-compositing, which cannot be merged
+	// with depth-composited geometry in one image; a volume plot must be the
+	// session's only plot.
+	if volumes > 0 && len(s.Plots) > 1 {
+		return nil, fmt.Errorf("libsim: a volume plot must be the session's only plot")
+	}
+	return &s, nil
+}
+
+// LoadSession reads and parses a session file from disk.
+func LoadSession(path string) (*Session, error) {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("libsim: %w", err)
+	}
+	return ParseSession(doc)
+}
+
+// DefaultSliceSession builds a one-plot session slicing the named array.
+func DefaultSliceSession(arrayName string, coord float64) *Session {
+	return &Session{
+		Plots: []Plot{{Type: "slice", Array: arrayName, Axis: "z", Coord: coord}},
+		Image: ImageConfig{Width: 1600, Height: 1600},
+	}
+}
+
+// TMLSession reproduces the AVF-LESLIE visualization: three isosurfaces and
+// three slice planes of vorticity magnitude.
+func TMLSession(array string, isoValues [3]float64, sliceCoords [3]float64) *Session {
+	s := &Session{Image: ImageConfig{Width: 1600, Height: 1600}}
+	axes := [3]string{"x", "y", "z"}
+	for i := 0; i < 3; i++ {
+		s.Plots = append(s.Plots, Plot{
+			Type: "isosurface", Array: array,
+			Value: isoValues[i], ColorBy: array, Colormap: "viridis",
+		})
+	}
+	for i := 0; i < 3; i++ {
+		s.Plots = append(s.Plots, Plot{
+			Type: "slice", Array: array,
+			Axis: axes[i], Coord: sliceCoords[i], Colormap: "viridis",
+		})
+	}
+	return s
+}
+
+// Options configures the adaptor.
+type Options struct {
+	// OutputDir receives visit_NNNNN.png from rank 0; empty discards.
+	OutputDir string
+	// Stride runs the visualization every Stride-th invocation; the
+	// AVF-LESLIE runs used 5.
+	Stride int
+	// SessionPath, when set, is stat'ed by every rank during initialization
+	// (the per-rank config check the paper measured).
+	SessionPath string
+	// Hub, when set, receives every composited frame for live viewers (the
+	// VisIt live-connection capability).
+	Hub *live.Hub
+}
+
+// Adaptor is the Libsim analysis adaptor.
+type Adaptor struct {
+	Comm     *mpi.Comm
+	Session  *Session
+	Opts     Options
+	Registry *metrics.Registry
+	Memory   *metrics.Tracker
+
+	initialized bool
+	imagesOut   int
+	execIndex   int
+}
+
+// NewAdaptor builds the adaptor.
+func NewAdaptor(c *mpi.Comm, session *Session, opts Options) *Adaptor {
+	if opts.Stride <= 0 {
+		opts.Stride = 1
+	}
+	return &Adaptor{Comm: c, Session: session, Opts: opts}
+}
+
+// ImagesWritten reports how many images rank 0 produced.
+func (a *Adaptor) ImagesWritten() int { return a.imagesOut }
+
+func (a *Adaptor) reg() *metrics.Registry {
+	if a.Registry == nil {
+		a.Registry = metrics.NewRegistry(0)
+	}
+	return a.Registry
+}
+
+// Initialize performs the per-rank startup work: the configuration-file
+// check (a real stat per rank) and framebuffer accounting.
+func (a *Adaptor) Initialize() error {
+	if a.Opts.SessionPath != "" {
+		// Every rank checks the session file — the access pattern whose
+		// metadata cost the paper observed growing with processor count.
+		if _, err := os.Stat(a.Opts.SessionPath); err != nil {
+			return fmt.Errorf("libsim: session check: %w", err)
+		}
+	}
+	if a.Memory != nil {
+		fbBytes := int64(a.Session.Image.Width) * int64(a.Session.Image.Height) * 8
+		a.Memory.Alloc("libsim/framebuffer", fbBytes)
+	}
+	a.initialized = true
+	return nil
+}
+
+// Execute implements core.AnalysisAdaptor.
+func (a *Adaptor) Execute(d core.DataAdaptor) (bool, error) {
+	step := d.TimeStep()
+	if !a.initialized {
+		var err error
+		a.reg().Time("libsim::initialize", step, func() { err = a.Initialize() })
+		if err != nil {
+			return false, err
+		}
+	}
+	idx := a.execIndex
+	a.execIndex++
+	if idx%a.Opts.Stride != 0 {
+		// Off-stride steps still pass through SENSEI (cheap), like
+		// AVF-LESLIE's 4-out-of-5 low-cost invocations.
+		a.reg().Log("libsim::skip", step, 0)
+		return true, nil
+	}
+	if len(a.Session.Plots) == 1 && a.Session.Plots[0].Type == "volume" {
+		return a.executeVolume(d, step)
+	}
+	fb := render.NewFramebuffer(a.Session.Image.Width, a.Session.Image.Height)
+	var err error
+	a.reg().Time("libsim::render", step, func() { err = a.renderPlots(d, fb) })
+	if err != nil {
+		return false, err
+	}
+	var final *render.Framebuffer
+	a.reg().Time("libsim::composite", step, func() {
+		final, err = compositing.Composite(a.Comm, fb, 0, compositing.DirectSend)
+	})
+	if err != nil {
+		return false, err
+	}
+	if final != nil {
+		err = a.writeImage(final, step)
+	}
+	return true, err
+}
+
+// executeVolume runs the direct-volume-rendering path: axis-aligned ray
+// marching per rank, then strict front-to-back over-compositing across the
+// rank order along the view axis.
+func (a *Adaptor) executeVolume(d core.DataAdaptor, step int) (bool, error) {
+	p := a.Session.Plots[0]
+	mesh, err := core.FetchArray(d, grid.CellData, p.Array)
+	if err != nil {
+		return false, err
+	}
+	img, ok := mesh.(*grid.ImageData)
+	if !ok {
+		return false, fmt.Errorf("libsim: volume rendering needs structured data, got %v", mesh.Kind())
+	}
+	cm, err := colormap.ByName(p.Colormap)
+	if err != nil {
+		return false, err
+	}
+	lo, hi, bounds, err := a.globalRange(img, grid.CellData, p.Array)
+	if err != nil {
+		return false, err
+	}
+	axis := map[string]int{"x": 0, "y": 1, "z": 2}[p.Axis]
+	opacity := p.Opacity
+	if opacity <= 0 {
+		opacity = 3
+	}
+	spec := &render.VolumeSpec{
+		ArrayName: p.Array, Axis: axis, Lo: lo, Hi: hi,
+		Map: cm, OpacityScale: opacity, DomainBounds: bounds,
+	}
+	var (
+		local    *render.AlphaImage
+		orderKey int
+	)
+	a.reg().Time("libsim::render", step, func() {
+		local, orderKey, err = render.RayMarchLocalSized(img, spec, a.Session.Image.Width, a.Session.Image.Height)
+	})
+	if err != nil {
+		return false, err
+	}
+	var final *render.AlphaImage
+	a.reg().Time("libsim::composite", step, func() {
+		final, err = compositing.OverComposite(a.Comm, local, orderKey, 0)
+	})
+	if err != nil {
+		return false, err
+	}
+	if final != nil {
+		fb := final.ToFramebuffer(0.05, 0.05, 0.08)
+		return true, a.writeImage(fb, step)
+	}
+	return true, nil
+}
+
+// renderPlots draws every plot of the session into the local framebuffer.
+func (a *Adaptor) renderPlots(d core.DataAdaptor, fb *render.Framebuffer) error {
+	for i, p := range a.Session.Plots {
+		assoc := grid.CellData
+		if p.Association == "point" {
+			assoc = grid.PointData
+		}
+		mesh, err := core.FetchArray(d, assoc, p.Array)
+		if err != nil {
+			return fmt.Errorf("plot %d: %w", i, err)
+		}
+		img, ok := mesh.(*grid.ImageData)
+		if !ok {
+			return fmt.Errorf("plot %d: libsim supports structured data, got %v", i, mesh.Kind())
+		}
+		cm, err := colormap.ByName(p.Colormap)
+		if err != nil {
+			return fmt.Errorf("plot %d: %w", i, err)
+		}
+		lo, hi, bounds, err := a.globalRange(img, assoc, p.Array)
+		if err != nil {
+			return err
+		}
+		switch p.Type {
+		case "slice":
+			axis := map[string]int{"x": 0, "y": 1, "z": 2}[p.Axis]
+			spec := &render.SliceSpec{
+				Plane: render.AxisPlane(axis, p.Coord), ArrayName: p.Array,
+				Assoc: assoc, Lo: lo, Hi: hi, Map: cm, DomainBounds: bounds,
+			}
+			if err := a.renderSlice3D(fb, img, spec, bounds); err != nil {
+				return fmt.Errorf("plot %d: %w", i, err)
+			}
+		case "isosurface":
+			name := p.Array
+			if assoc == grid.CellData {
+				if err := render.CellToPointScalars(img, name); err != nil {
+					return fmt.Errorf("plot %d: %w", i, err)
+				}
+			}
+			tris, err := render.Isosurface(img, name, p.Value, p.ColorBy)
+			if err != nil {
+				return fmt.Errorf("plot %d: %w", i, err)
+			}
+			cam := render.DefaultCamera(bounds)
+			render.RenderMesh(fb, cam, tris, func(s float64) color.RGBA {
+				return cm.Pseudocolor(s, lo, hi)
+			})
+		}
+	}
+	return nil
+}
+
+// renderSlice3D rasterizes a slice plane as geometry in the 3D scene (so it
+// composes with isosurfaces in the same image, as the TML visualization
+// does): the plane rectangle is triangulated and textured by sampling.
+func (a *Adaptor) renderSlice3D(fb *render.Framebuffer, img *grid.ImageData, spec *render.SliceSpec, bounds [6]float64) error {
+	cam := render.DefaultCamera(bounds)
+	// Sample the slice on a coarse grid of quads in the plane, each
+	// pseudocolored by the local data where this rank owns the sample.
+	const n = 96
+	u, v := spec.Plane.Basis()
+	// Project domain corners into the plane to get the window (reusing the
+	// spec's own logic via a tiny local recomputation).
+	b := spec.DomainBounds
+	umin, umax, vmin, vmax := planeWindow(spec.Plane, u, v, b)
+	du := (umax - umin) / n
+	dv := (vmax - vmin) / n
+	lb := img.Bounds()
+	cm := spec.Map
+	for jj := 0; jj < n; jj++ {
+		for ii := 0; ii < n; ii++ {
+			c0 := spec.Plane.Origin.Add(u.Scale(umin + float64(ii)*du)).Add(v.Scale(vmin + float64(jj)*dv))
+			cc := c0.Add(u.Scale(du / 2)).Add(v.Scale(dv / 2))
+			// Only the owning rank draws this sample cell.
+			if cc[0] < lb[0] || cc[0] >= lb[1] || cc[1] < lb[2] || cc[1] >= lb[3] || cc[2] < lb[4] || cc[2] >= lb[5] {
+				continue
+			}
+			val, ok := sampleAt(img, spec, cc)
+			if !ok {
+				continue
+			}
+			col := cm.Pseudocolor(val, spec.Lo, spec.Hi)
+			p1 := c0.Add(u.Scale(du))
+			p2 := c0.Add(u.Scale(du)).Add(v.Scale(dv))
+			p3 := c0.Add(v.Scale(dv))
+			quad := [4]render.Vec3{c0, p1, p2, p3}
+			var vtx [4]render.Vertex
+			for k, p := range quad {
+				px, py, depth := cam.Project(p, fb.W, fb.H)
+				vtx[k] = render.Vertex{X: px, Y: py, Depth: depth}
+			}
+			flat := func(float64) color.RGBA { return col }
+			render.RasterizeTriangle(fb, vtx[0], vtx[1], vtx[2], flat)
+			render.RasterizeTriangle(fb, vtx[0], vtx[2], vtx[3], flat)
+		}
+	}
+	return nil
+}
+
+func planeWindow(pl render.Plane, u, v render.Vec3, b [6]float64) (umin, umax, vmin, vmax float64) {
+	umin, vmin = 1e300, 1e300
+	umax, vmax = -1e300, -1e300
+	for ci := 0; ci < 8; ci++ {
+		p := render.Vec3{b[ci&1], b[2+(ci>>1)&1], b[4+(ci>>2)&1]}
+		rel := p.Sub(pl.Origin)
+		pu, pv := rel.Dot(u), rel.Dot(v)
+		if pu < umin {
+			umin = pu
+		}
+		if pu > umax {
+			umax = pu
+		}
+		if pv < vmin {
+			vmin = pv
+		}
+		if pv > vmax {
+			vmax = pv
+		}
+	}
+	return
+}
+
+// sampleAt fetches the scalar at a world point from the local block.
+func sampleAt(img *grid.ImageData, spec *render.SliceSpec, w render.Vec3) (float64, bool) {
+	arr := img.Attributes(spec.Assoc).Get(spec.ArrayName)
+	if arr == nil {
+		return 0, false
+	}
+	fi := (w[0] - img.Origin[0]) / img.Spacing[0]
+	fj := (w[1] - img.Origin[1]) / img.Spacing[1]
+	fk := (w[2] - img.Origin[2]) / img.Spacing[2]
+	ext := img.Extent
+	if spec.Assoc == grid.CellData {
+		cx, cy, cz := ext.CellDims()
+		ci, cj, ck := int(fi)-ext[0], int(fj)-ext[2], int(fk)-ext[4]
+		if ci < 0 || ci >= cx || cj < 0 || cj >= cy || ck < 0 || ck >= cz {
+			return 0, false
+		}
+		return arr.Value(ck*cx*cy+cj*cx+ci, 0), true
+	}
+	nx, ny, nz := ext.Dims()
+	i, j, k := int(fi+0.5)-ext[0], int(fj+0.5)-ext[2], int(fk+0.5)-ext[4]
+	if i < 0 || i >= nx || j < 0 || j >= ny || k < 0 || k >= nz {
+		return 0, false
+	}
+	return arr.Value(k*nx*ny+j*nx+i, 0), true
+}
+
+// globalRange agrees on scalar range and domain bounds across ranks.
+func (a *Adaptor) globalRange(img *grid.ImageData, assoc grid.Association, name string) (lo, hi float64, bounds [6]float64, err error) {
+	arr := img.Attributes(assoc).Get(name)
+	if arr == nil {
+		return 0, 0, bounds, fmt.Errorf("libsim: mesh lacks %s array %q", assoc, name)
+	}
+	l, h := arr.Range(0)
+	lb := img.Bounds()
+	sendLo := []float64{l, lb[0], lb[2], lb[4]}
+	sendHi := []float64{h, lb[1], lb[3], lb[5]}
+	recvLo := make([]float64, 4)
+	recvHi := make([]float64, 4)
+	if a.Comm != nil {
+		if err := mpi.Allreduce(a.Comm, sendLo, recvLo, mpi.OpMin); err != nil {
+			return 0, 0, bounds, err
+		}
+		if err := mpi.Allreduce(a.Comm, sendHi, recvHi, mpi.OpMax); err != nil {
+			return 0, 0, bounds, err
+		}
+	} else {
+		copy(recvLo, sendLo)
+		copy(recvHi, sendHi)
+	}
+	bounds = [6]float64{recvLo[1], recvHi[1], recvLo[2], recvHi[2], recvLo[3], recvHi[3]}
+	return recvLo[0], recvHi[0], bounds, nil
+}
+
+// writeImage serializes the composited image on rank 0 and delivers it to
+// the output directory and/or attached live viewers.
+func (a *Adaptor) writeImage(final *render.Framebuffer, step int) error {
+	final.FillBackground(color.RGBA{R: 12, G: 12, B: 16, A: 255})
+	var w io.Writer = io.Discard
+	var buf *bytes.Buffer
+	if a.Opts.Hub != nil {
+		buf = &bytes.Buffer{}
+		w = buf
+	} else if a.Opts.OutputDir != "" {
+		if err := os.MkdirAll(a.Opts.OutputDir, 0o755); err != nil {
+			return fmt.Errorf("libsim: %w", err)
+		}
+		f, err := os.Create(filepath.Join(a.Opts.OutputDir, fmt.Sprintf("visit_%05d.png", step)))
+		if err != nil {
+			return fmt.Errorf("libsim: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	a.reg().Time("libsim::png", step, func() {
+		_, err = render.WritePNG(w, final, render.PNGOptions{})
+	})
+	if err != nil {
+		return err
+	}
+	if buf != nil {
+		a.Opts.Hub.Publish(live.Frame{Step: step, Width: final.W, Height: final.H, PNG: buf.Bytes()})
+		if a.Opts.OutputDir != "" {
+			if err := os.MkdirAll(a.Opts.OutputDir, 0o755); err != nil {
+				return fmt.Errorf("libsim: %w", err)
+			}
+			path := filepath.Join(a.Opts.OutputDir, fmt.Sprintf("visit_%05d.png", step))
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				return fmt.Errorf("libsim: %w", err)
+			}
+		}
+	}
+	a.imagesOut++
+	return nil
+}
+
+// Finalize implements core.AnalysisAdaptor.
+func (a *Adaptor) Finalize() error {
+	if a.Memory != nil {
+		a.Memory.FreeAll("libsim/framebuffer")
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Package live implements the interactive-connection capability the paper
+// attributes to both Catalyst ("connecting with the ParaView GUI for live,
+// interactive visualization") and Libsim ("enables VisIt to connect
+// interactively to running simulations for live exploration"), and which
+// the PHASTA study exercises as a steering loop: "the SENSEI results close
+// the loop on live problem redefinition".
+//
+// A Hub sits between the running in situ pipeline and any number of
+// viewers. The pipeline publishes each rendered frame; viewers attach and
+// detach at will (as FlexPath allows mid-run), pull the latest frame, and
+// push steering commands that the simulation drains once per step on rank 0
+// and broadcasts itself.
+package live
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Frame is one published image.
+type Frame struct {
+	Step   int
+	Width  int
+	Height int
+	// PNG holds the encoded image bytes.
+	PNG []byte
+}
+
+// Command is one steering request from a viewer, e.g. {"jet-amplitude",
+// 1.6} or {"slice-coord", 12}.
+type Command struct {
+	Name  string
+	Value float64
+}
+
+// Hub connects one running pipeline to its viewers. All methods are safe
+// for concurrent use; the pipeline and every viewer run on their own
+// goroutines.
+type Hub struct {
+	mu       sync.Mutex
+	latest   *Frame
+	nextSub  int
+	subs     map[int]chan Frame
+	commands []Command
+	frames   int
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: map[int]chan Frame{}}
+}
+
+// Publish stores a frame as the latest and fans it out to subscribers.
+// Slow subscribers drop frames rather than stall the simulation (a live
+// viewer wants the newest image, not a backlog).
+func (h *Hub) Publish(f Frame) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cp := f
+	cp.PNG = append([]byte(nil), f.PNG...)
+	h.latest = &cp
+	h.frames++
+	for _, ch := range h.subs {
+		select {
+		case ch <- cp:
+		default: // viewer lagging: drop
+		}
+	}
+}
+
+// Latest returns the most recent frame, if any was published.
+func (h *Hub) Latest() (Frame, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.latest == nil {
+		return Frame{}, false
+	}
+	return *h.latest, true
+}
+
+// Frames reports how many frames were published.
+func (h *Hub) Frames() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.frames
+}
+
+// Subscribe attaches a viewer: it receives every frame published while
+// attached (newest-wins on lag). The returned cancel function detaches.
+func (h *Hub) Subscribe() (<-chan Frame, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id := h.nextSub
+	h.nextSub++
+	ch := make(chan Frame, 1)
+	h.subs[id] = ch
+	cancel := func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(ch)
+		}
+	}
+	return ch, cancel
+}
+
+// Viewers reports the number of attached viewers.
+func (h *Hub) Viewers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// SendCommand queues a steering request.
+func (h *Hub) SendCommand(name string, value float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.commands = append(h.commands, Command{Name: name, Value: value})
+}
+
+// DrainCommands returns and clears the queued commands. The simulation's
+// rank 0 calls this once per step and broadcasts the result to its peers
+// (steering must reach every rank identically).
+func (h *Hub) DrainCommands() []Command {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := h.commands
+	h.commands = nil
+	return out
+}
+
+// EncodeCommands flattens commands for an mpi broadcast: callers send the
+// count first, then the flattened payload.
+func EncodeCommands(cmds []Command) (names []string, values []float64) {
+	for _, c := range cmds {
+		names = append(names, c.Name)
+		values = append(values, c.Value)
+	}
+	return names, values
+}
+
+// DecodeCommands reverses EncodeCommands.
+func DecodeCommands(names []string, values []float64) ([]Command, error) {
+	if len(names) != len(values) {
+		return nil, fmt.Errorf("live: name/value length mismatch %d vs %d", len(names), len(values))
+	}
+	out := make([]Command, len(names))
+	for i := range names {
+		out[i] = Command{Name: names[i], Value: values[i]}
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package live_test
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+
+	"gosensei/internal/catalyst"
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+	. "gosensei/internal/live"
+	"gosensei/internal/mpi"
+	"gosensei/internal/oscillator"
+	"gosensei/internal/phasta"
+)
+
+func TestHubLatestAndSubscribe(t *testing.T) {
+	h := NewHub()
+	if _, ok := h.Latest(); ok {
+		t.Fatal("empty hub has a frame")
+	}
+	ch, cancel := h.Subscribe()
+	if h.Viewers() != 1 {
+		t.Fatalf("viewers=%d", h.Viewers())
+	}
+	h.Publish(Frame{Step: 1, PNG: []byte{1, 2}})
+	f := <-ch
+	if f.Step != 1 || len(f.PNG) != 2 {
+		t.Fatalf("frame=%+v", f)
+	}
+	// Published frames are copies: mutating the source must not matter.
+	src := []byte{9}
+	h.Publish(Frame{Step: 2, PNG: src})
+	src[0] = 0
+	got, ok := h.Latest()
+	if !ok || got.PNG[0] != 9 {
+		t.Fatal("frame not copied")
+	}
+	cancel()
+	cancel() // idempotent
+	if h.Viewers() != 0 {
+		t.Fatalf("viewers=%d after cancel", h.Viewers())
+	}
+	if h.Frames() != 2 {
+		t.Fatalf("frames=%d", h.Frames())
+	}
+}
+
+func TestHubLaggingViewerDropsFrames(t *testing.T) {
+	h := NewHub()
+	ch, cancel := h.Subscribe()
+	defer cancel()
+	// Publish more than the buffer without draining: no deadlock, newest
+	// retained as Latest.
+	for i := 0; i < 5; i++ {
+		h.Publish(Frame{Step: i})
+	}
+	f, ok := h.Latest()
+	if !ok || f.Step != 4 {
+		t.Fatalf("latest=%+v", f)
+	}
+	first := <-ch
+	if first.Step != 0 {
+		t.Fatalf("buffered frame step=%d", first.Step)
+	}
+}
+
+func TestCommandsRoundTrip(t *testing.T) {
+	h := NewHub()
+	h.SendCommand("jet-amplitude", 1.6)
+	h.SendCommand("jet-frequency", 1.5)
+	cmds := h.DrainCommands()
+	if len(cmds) != 2 || cmds[0].Name != "jet-amplitude" || cmds[1].Value != 1.5 {
+		t.Fatalf("cmds=%+v", cmds)
+	}
+	if len(h.DrainCommands()) != 0 {
+		t.Fatal("drain not clearing")
+	}
+	names, values := EncodeCommands(cmds)
+	back, err := DecodeCommands(names, values)
+	if err != nil || len(back) != 2 || back[0] != cmds[0] {
+		t.Fatalf("decode=%v err=%v", back, err)
+	}
+	if _, err := DecodeCommands([]string{"a"}, nil); err == nil {
+		t.Fatal("mismatched decode accepted")
+	}
+}
+
+func TestLiveFramesFromCatalyst(t *testing.T) {
+	hub := NewHub()
+	ch, cancel := hub.Subscribe()
+	defer cancel()
+	cfg := oscillator.Config{
+		GlobalCells: [3]int{8, 8, 8}, DT: 0.1, Steps: 2,
+		Oscillators: oscillator.DefaultDeck(8),
+	}
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		sim, err := oscillator.NewSim(c, cfg, nil)
+		if err != nil {
+			return err
+		}
+		a := catalyst.NewSliceAdaptor(c, catalyst.Options{
+			ArrayName: "data", Assoc: grid.CellData,
+			Width: 32, Height: 32, SliceAxis: 2, SliceCoord: 4,
+			Hub: hub,
+		})
+		b := core.NewBridge(c, nil, nil)
+		b.AddAnalysis("catalyst", a)
+		d := oscillator.NewDataAdaptor(sim)
+		for i := 0; i < cfg.Steps; i++ {
+			if err := sim.Step(); err != nil {
+				return err
+			}
+			d.Update()
+			if _, err := b.Execute(d); err != nil {
+				return err
+			}
+		}
+		return b.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hub.Frames() != 2 {
+		t.Fatalf("frames=%d", hub.Frames())
+	}
+	f := <-ch
+	img, err := png.Decode(bytes.NewReader(f.PNG))
+	if err != nil {
+		t.Fatalf("live frame is not a PNG: %v", err)
+	}
+	if img.Bounds().Dx() != 32 {
+		t.Fatalf("bounds=%v", img.Bounds())
+	}
+}
+
+func TestSteeringLoopThroughHub(t *testing.T) {
+	// The PHASTA live-problem-redefinition loop: a viewer watches frames
+	// and pushes a command; the simulation applies it on the next step.
+	hub := NewHub()
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		solver, err := phasta.NewSolver(c, phasta.DefaultConfig(10))
+		if err != nil {
+			return err
+		}
+		for step := 0; step < 4; step++ {
+			solver.Step()
+			// Rank 0 drains viewer commands and broadcasts them.
+			var values []float64
+			if c.Rank() == 0 {
+				_, values = EncodeCommands(hub.DrainCommands())
+			}
+			count := []int64{int64(len(values))}
+			if err := mpi.Bcast(c, count, 0); err != nil {
+				return err
+			}
+			if count[0] > 0 {
+				if c.Rank() != 0 {
+					values = make([]float64, count[0])
+				}
+				if err := mpi.Bcast(c, values, 0); err != nil {
+					return err
+				}
+				// Names are fixed-vocabulary; broadcast as indexes in real
+				// code. For the test only amplitude commands are sent.
+				solver.SetJet(values[0], solver.Cfg.JetFrequency)
+			}
+			if step == 1 && c.Rank() == 0 {
+				hub.SendCommand("jet-amplitude", 0) // kill the jet
+			}
+		}
+		if solver.Cfg.JetAmplitude != 0 {
+			t.Errorf("rank %d: steering command not applied: amplitude=%v", c.Rank(), solver.Cfg.JetAmplitude)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package metrics provides the measurement machinery used throughout the
+// repository: named accumulating timers, a per-step event log, and an
+// explicit memory accountant that tracks the high-water mark of each rank's
+// data structures.
+//
+// The SC16 SENSEI paper reports two metrics for every experiment: elapsed
+// wall-clock time and the memory high-water mark summed over all MPI ranks.
+// Go ranks in this reproduction are goroutines sharing one heap, so OS-level
+// RSS cannot attribute memory to a rank; instead, every substrate registers
+// its allocations with a Tracker. This has the side benefit of making the
+// zero-copy claim falsifiable: wrapping a simulation buffer registers zero
+// additional bytes, while a copying adaptor registers the full array size.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Timer accumulates wall-clock durations over repeated Start/Stop cycles.
+type Timer struct {
+	total time.Duration
+	count int
+	start time.Time
+	open  bool
+}
+
+// Start begins a timing interval. Starting an already-started timer panics;
+// that is always a programming error in the harness.
+func (t *Timer) Start() {
+	if t.open {
+		panic("metrics: timer started twice")
+	}
+	t.open = true
+	t.start = time.Now()
+}
+
+// Stop ends the current interval and adds it to the accumulated total.
+func (t *Timer) Stop() time.Duration {
+	if !t.open {
+		panic("metrics: timer stopped without start")
+	}
+	d := time.Since(t.start)
+	t.open = false
+	t.total += d
+	t.count++
+	return d
+}
+
+// Add accumulates an externally measured (or modeled) duration.
+func (t *Timer) Add(d time.Duration) {
+	t.total += d
+	t.count++
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return t.total }
+
+// Count returns the number of completed intervals.
+func (t *Timer) Count() int { return t.count }
+
+// Mean returns the average interval length, or zero if none completed.
+func (t *Timer) Mean() time.Duration {
+	if t.count == 0 {
+		return 0
+	}
+	return t.total / time.Duration(t.count)
+}
+
+// Event is one logged measurement: a named phase at a time step.
+type Event struct {
+	Name    string
+	Step    int
+	Seconds float64
+}
+
+// Registry collects the timers and events of a single rank.
+// A Registry is safe for use by one rank (goroutine) at a time.
+type Registry struct {
+	Rank   int
+	timers map[string]*Timer
+	events []Event
+}
+
+// NewRegistry returns an empty registry for the given rank.
+func NewRegistry(rank int) *Registry {
+	return &Registry{Rank: rank, timers: map[string]*Timer{}}
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Time runs f under the named timer and logs an event for the given step.
+func (r *Registry) Time(name string, step int, f func()) time.Duration {
+	t := r.Timer(name)
+	t.Start()
+	f()
+	d := t.Stop()
+	r.events = append(r.events, Event{Name: name, Step: step, Seconds: d.Seconds()})
+	return d
+}
+
+// Log records an externally measured or modeled event.
+func (r *Registry) Log(name string, step int, seconds float64) {
+	r.Timer(name).Add(time.Duration(seconds * float64(time.Second)))
+	r.events = append(r.events, Event{Name: name, Step: step, Seconds: seconds})
+}
+
+// Events returns the logged events in insertion order.
+func (r *Registry) Events() []Event { return r.events }
+
+// EventsNamed returns the logged events with the given name, in step order.
+func (r *Registry) EventsNamed(name string) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// TimerNames returns the names of all timers, sorted.
+func (r *Registry) TimerNames() []string {
+	names := make([]string, 0, len(r.timers))
+	for n := range r.timers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Tracker is the explicit memory accountant for one rank. Allocations are
+// registered by name; the tracker maintains current usage and the high-water
+// mark. Trackers are safe for concurrent use (infrastructure components may
+// run on helper goroutines within a rank).
+type Tracker struct {
+	mu      sync.Mutex
+	current int64
+	high    int64
+	byName  map[string]int64
+}
+
+// NewTracker returns an empty memory tracker.
+func NewTracker() *Tracker {
+	return &Tracker{byName: map[string]int64{}}
+}
+
+// Alloc registers bytes under name and updates the high-water mark.
+func (t *Tracker) Alloc(name string, bytes int64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("metrics: negative allocation %d for %q", bytes, name))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byName[name] += bytes
+	t.current += bytes
+	if t.current > t.high {
+		t.high = t.current
+	}
+}
+
+// Free releases bytes previously registered under name.
+func (t *Tracker) Free(name string, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byName[name] -= bytes
+	t.current -= bytes
+}
+
+// FreeAll releases everything registered under name.
+func (t *Tracker) FreeAll(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.current -= t.byName[name]
+	t.byName[name] = 0
+}
+
+// Current returns the currently registered bytes.
+func (t *Tracker) Current() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.current
+}
+
+// HighWater returns the maximum of Current over the tracker's lifetime.
+func (t *Tracker) HighWater() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.high
+}
+
+// Named returns the bytes currently registered under name.
+func (t *Tracker) Named(name string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byName[name]
+}
+
+// Breakdown returns a sorted "name=bytes" summary of current registrations.
+func (t *Tracker) Breakdown() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.byName))
+	for n, b := range t.byName {
+		if b != 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%d", n, t.byName[n])
+	}
+	return strings.Join(parts, " ")
+}

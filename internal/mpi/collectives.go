@@ -1,0 +1,314 @@
+package mpi
+
+import "fmt"
+
+// Number constrains the element types usable with arithmetic reductions.
+type Number interface {
+	~int | ~int32 | ~int64 | ~uint8 | ~uint32 | ~uint64 | ~float32 | ~float64
+}
+
+// Op identifies a reduction operation.
+type Op int
+
+// Reduction operations supported by Reduce, Allreduce, and Scan.
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+	OpProd
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	case OpProd:
+		return "prod"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+func apply[T Number](op Op, dst, src []T) {
+	switch op {
+	case OpSum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case OpMin:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case OpMax:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case OpProd:
+		for i := range dst {
+			dst[i] *= src[i]
+		}
+	default:
+		panic("mpi: unknown reduction op " + op.String())
+	}
+}
+
+// Reserved tag space for collectives; user point-to-point tags should stay
+// below collTagBase.
+const (
+	collTagBase = 1 << 28
+	tagBarrier  = collTagBase + iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagScan
+	tagAlltoall
+	tagAllgather
+)
+
+// Barrier blocks until every rank in the communicator has entered it.
+// Implemented as a binomial-tree reduce-to-zero followed by a broadcast, so
+// its communication cost is O(log P) rounds like a real MPI barrier.
+func (c *Comm) Barrier() error {
+	// Reduce an empty token up the tree.
+	mask := 1
+	for mask < c.size {
+		partner := c.rank ^ mask
+		if c.rank&mask != 0 {
+			Send(c, partner, tagBarrier, []byte{1})
+			break
+		}
+		if partner < c.size {
+			if _, _, err := Recv[byte](c, partner, tagBarrier); err != nil {
+				return fmt.Errorf("barrier (up, rank %d): %w", c.rank, err)
+			}
+		}
+		mask <<= 1
+	}
+	// Broadcast release down the tree.
+	return Bcast(c, []byte{1}, 0)
+}
+
+// Bcast broadcasts buf from root to all ranks using a binomial tree.
+// On non-root ranks buf is overwritten; all ranks must pass equal lengths.
+func Bcast[T any](c *Comm, buf []T, root int) error {
+	if c.size == 1 {
+		return nil
+	}
+	// Work in a rank space where root is 0.
+	vrank := (c.rank - root + c.size) % c.size
+	if vrank != 0 {
+		// Receive from parent.
+		mask := 1
+		for mask <= vrank {
+			mask <<= 1
+		}
+		mask >>= 1
+		parent := ((vrank - mask) + root) % c.size
+		data, _, err := Recv[T](c, parent, tagBcast)
+		if err != nil {
+			return fmt.Errorf("bcast (rank %d from %d): %w", c.rank, parent, err)
+		}
+		if len(data) != len(buf) {
+			return fmt.Errorf("bcast: length mismatch on rank %d: have %d want %d", c.rank, len(buf), len(data))
+		}
+		copy(buf, data)
+	}
+	// Forward to children.
+	mask := 1
+	for mask <= vrank {
+		mask <<= 1
+	}
+	for ; mask < c.size; mask <<= 1 {
+		child := vrank + mask
+		if child < c.size {
+			Send(c, (child+root)%c.size, tagBcast, buf)
+		}
+	}
+	return nil
+}
+
+// Reduce combines send buffers from all ranks element-wise with op, leaving
+// the result in recv on root. recv may be nil on non-root ranks. send and
+// recv must not alias.
+func Reduce[T Number](c *Comm, send []T, recv []T, op Op, root int) error {
+	acc := make([]T, len(send))
+	copy(acc, send)
+	vrank := (c.rank - root + c.size) % c.size
+	mask := 1
+	for mask < c.size {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % c.size
+			Send(c, parent, tagReduce, acc)
+			break
+		}
+		vchild := vrank | mask
+		if vchild < c.size {
+			data, _, err := Recv[T](c, (vchild+root)%c.size, tagReduce)
+			if err != nil {
+				return fmt.Errorf("reduce (rank %d): %w", c.rank, err)
+			}
+			if len(data) != len(acc) {
+				return fmt.Errorf("reduce: length mismatch on rank %d: have %d got %d", c.rank, len(acc), len(data))
+			}
+			apply(op, acc, data)
+		}
+		mask <<= 1
+	}
+	if c.rank == root {
+		if len(recv) != len(send) {
+			return fmt.Errorf("reduce: root recv length %d != send length %d", len(recv), len(send))
+		}
+		copy(recv, acc)
+	}
+	return nil
+}
+
+// Allreduce combines send buffers element-wise with op and leaves the result
+// in recv on every rank.
+func Allreduce[T Number](c *Comm, send []T, recv []T, op Op) error {
+	if len(recv) != len(send) {
+		return fmt.Errorf("allreduce: recv length %d != send length %d", len(recv), len(send))
+	}
+	if err := Reduce(c, send, recv, op, 0); err != nil {
+		return err
+	}
+	return Bcast(c, recv, 0)
+}
+
+// Gather collects equal-length contributions from every rank onto root,
+// ordered by rank. Non-root ranks receive nil.
+func Gather[T any](c *Comm, send []T, root int) ([][]T, error) {
+	if c.rank != root {
+		Send(c, root, tagGather, send)
+		return nil, nil
+	}
+	out := make([][]T, c.size)
+	cp := make([]T, len(send))
+	copy(cp, send)
+	out[root] = cp
+	for i := 0; i < c.size; i++ {
+		if i == root {
+			continue
+		}
+		data, _, err := Recv[T](c, i, tagGather)
+		if err != nil {
+			return nil, fmt.Errorf("gather (root %d from %d): %w", root, i, err)
+		}
+		out[i] = data
+	}
+	return out, nil
+}
+
+// Allgather collects each rank's contribution (which may vary in length)
+// and returns the concatenation, ordered by rank, on every rank.
+func Allgather[T any](c *Comm, send []T) ([]T, error) {
+	parts, err := Gather(c, send, 0)
+	if err != nil {
+		return nil, err
+	}
+	var flat []T
+	lens := make([]int64, c.size)
+	if c.rank == 0 {
+		for i, p := range parts {
+			lens[i] = int64(len(p))
+			flat = append(flat, p...)
+		}
+	}
+	if err := Bcast(c, lens, 0); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, l := range lens {
+		total += int(l)
+	}
+	if c.rank != 0 {
+		flat = make([]T, total)
+	}
+	if err := Bcast(c, flat, 0); err != nil {
+		return nil, err
+	}
+	return flat, nil
+}
+
+// Scatter distributes parts[i] from root to rank i. parts is read on root
+// only; every rank returns its own part.
+func Scatter[T any](c *Comm, parts [][]T, root int) ([]T, error) {
+	if c.rank == root {
+		if len(parts) != c.size {
+			return nil, fmt.Errorf("scatter: need %d parts, got %d", c.size, len(parts))
+		}
+		for i := 0; i < c.size; i++ {
+			if i == root {
+				continue
+			}
+			Send(c, i, tagScatter, parts[i])
+		}
+		cp := make([]T, len(parts[root]))
+		copy(cp, parts[root])
+		return cp, nil
+	}
+	data, _, err := Recv[T](c, root, tagScatter)
+	if err != nil {
+		return nil, fmt.Errorf("scatter (rank %d): %w", c.rank, err)
+	}
+	return data, nil
+}
+
+// Scan computes an inclusive prefix reduction over ranks: rank r receives
+// op(send_0, ..., send_r). Implemented linearly along the rank order.
+func Scan[T Number](c *Comm, send []T, recv []T, op Op) error {
+	if len(recv) != len(send) {
+		return fmt.Errorf("scan: recv length %d != send length %d", len(recv), len(send))
+	}
+	copy(recv, send)
+	if c.rank > 0 {
+		data, _, err := Recv[T](c, c.rank-1, tagScan)
+		if err != nil {
+			return fmt.Errorf("scan (rank %d): %w", c.rank, err)
+		}
+		apply(op, recv, data)
+	}
+	if c.rank < c.size-1 {
+		Send(c, c.rank+1, tagScan, recv)
+	}
+	return nil
+}
+
+// Alltoall exchanges parts[i] with rank i on every rank; the returned slice
+// holds, at index i, what rank i sent to the caller.
+func Alltoall[T any](c *Comm, parts [][]T) ([][]T, error) {
+	if len(parts) != c.size {
+		return nil, fmt.Errorf("alltoall: need %d parts, got %d", c.size, len(parts))
+	}
+	out := make([][]T, c.size)
+	cp := make([]T, len(parts[c.rank]))
+	copy(cp, parts[c.rank])
+	out[c.rank] = cp
+	// Pairwise exchange: in round k, exchange with rank^k ordering to avoid
+	// flooding a single mailbox.
+	for i := 0; i < c.size; i++ {
+		if i == c.rank {
+			continue
+		}
+		Send(c, i, tagAlltoall, parts[i])
+	}
+	for i := 0; i < c.size; i++ {
+		if i == c.rank {
+			continue
+		}
+		data, _, err := Recv[T](c, i, tagAlltoall)
+		if err != nil {
+			return nil, fmt.Errorf("alltoall (rank %d from %d): %w", c.rank, i, err)
+		}
+		out[i] = data
+	}
+	return out, nil
+}

@@ -1,0 +1,296 @@
+// Package mpi provides an in-process message-passing runtime modeled on MPI.
+//
+// Ranks are goroutines launched by Run; each rank receives a *Comm handle
+// through which it performs point-to-point communication (Send/Recv with tag
+// matching) and collective operations (Barrier, Bcast, Reduce, Allreduce,
+// Gather, Gatherv, Allgather, Scan, Alltoall). Communicators can be split
+// into sub-communicators with Split, mirroring MPI_Comm_split.
+//
+// The package exists because this repository reproduces an HPC paper
+// (SC16 SENSEI) whose software stack is built on MPI, and Go has no MPI
+// bindings in the standard library. The collectives use the standard
+// binomial-tree and recursive-pattern algorithms so that their communication
+// step counts — which drive the scaling behavior the paper measures — match
+// real MPI implementations.
+//
+// Message payloads are copied on Send and copied again into the receiver's
+// buffer, preserving message-passing semantics: after a Send returns, the
+// sender may freely reuse its buffer.
+package mpi
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Wildcard values for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// DefaultRecvTimeout bounds how long a Recv waits before the runtime declares
+// a deadlock. It is deliberately generous; tests that exercise deadlock
+// detection shrink it via World options.
+const DefaultRecvTimeout = 120 * time.Second
+
+// message is a single in-flight point-to-point message.
+type message struct {
+	src     int // world rank of sender
+	tag     int
+	ctx     int // communicator context id
+	payload any // copied slice
+}
+
+// mailbox holds pending messages for one world rank.
+type mailbox struct {
+	mu      sync.Mutex
+	pending []message
+	waiters []chan struct{}
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.pending = append(m.pending, msg)
+	ws := m.waiters
+	m.waiters = nil
+	m.mu.Unlock()
+	for _, w := range ws {
+		close(w)
+	}
+}
+
+// take removes and returns the first message matching (src, tag, ctx).
+// It blocks until a match arrives or the timeout elapses.
+func (m *mailbox) take(src, tag, ctx int, timeout time.Duration) (message, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		m.mu.Lock()
+		for i, msg := range m.pending {
+			if msg.ctx != ctx {
+				continue
+			}
+			if src != AnySource && msg.src != src {
+				continue
+			}
+			if tag != AnyTag && msg.tag != tag {
+				continue
+			}
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			m.mu.Unlock()
+			return msg, nil
+		}
+		w := make(chan struct{})
+		m.waiters = append(m.waiters, w)
+		m.mu.Unlock()
+
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return message{}, fmt.Errorf("mpi: recv timeout (possible deadlock) waiting for src=%d tag=%d ctx=%d", src, tag, ctx)
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-w:
+			t.Stop()
+		case <-t.C:
+			return message{}, fmt.Errorf("mpi: recv timeout (possible deadlock) waiting for src=%d tag=%d ctx=%d", src, tag, ctx)
+		}
+	}
+}
+
+// World owns the shared state of one Run invocation.
+type World struct {
+	size        int
+	boxes       []*mailbox
+	nextCtx     atomic.Int64
+	recvTimeout time.Duration
+}
+
+// Option configures a World created by Run.
+type Option func(*World)
+
+// WithRecvTimeout overrides the deadlock-detection timeout for receives.
+func WithRecvTimeout(d time.Duration) Option {
+	return func(w *World) { w.recvTimeout = d }
+}
+
+// Comm is a communicator: a rank's handle onto a group of ranks.
+// The zero value is not usable; Comms are obtained from Run and Split.
+type Comm struct {
+	world *World
+	rank  int   // rank within this communicator
+	size  int   // size of this communicator
+	group []int // communicator rank -> world rank
+	ctx   int   // context id isolating this communicator's traffic
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// WorldRank returns the caller's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.group[c.rank] }
+
+// Run executes f on n concurrent ranks and waits for all of them.
+// Each rank receives a distinct *Comm with ranks 0..n-1. The returned error
+// is the first error returned (or panic raised) by any rank.
+func Run(n int, f func(c *Comm) error, opts ...Option) error {
+	if n <= 0 {
+		return fmt.Errorf("mpi: world size must be positive, got %d", n)
+	}
+	w := &World{size: n, boxes: make([]*mailbox, n), recvTimeout: DefaultRecvTimeout}
+	for i := range w.boxes {
+		w.boxes[i] = &mailbox{}
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	group := make([]int, n)
+	for i := range group {
+		group[i] = i
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", rank, p, debug.Stack())
+				}
+			}()
+			c := &Comm{world: w, rank: rank, size: n, group: group, ctx: 0}
+			errs[rank] = f(c)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// send delivers a payload (already copied) to dest within this communicator.
+func (c *Comm) send(dest, tag int, payload any) {
+	if dest < 0 || dest >= c.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d (size %d)", dest, c.size))
+	}
+	c.world.boxes[c.group[dest]].put(message{src: c.rank, tag: tag, ctx: c.ctx, payload: payload})
+}
+
+func (c *Comm) recv(src, tag int) (message, error) {
+	if src != AnySource && (src < 0 || src >= c.size) {
+		return message{}, fmt.Errorf("mpi: recv from invalid rank %d (size %d)", src, c.size)
+	}
+	return c.world.boxes[c.group[c.rank]].take(src, tag, c.ctx, c.world.recvTimeout)
+}
+
+// Send transmits a copy of data to dest with the given tag.
+func Send[T any](c *Comm, dest, tag int, data []T) {
+	cp := make([]T, len(data))
+	copy(cp, data)
+	c.send(dest, tag, cp)
+}
+
+// Recv blocks until a message with matching source and tag arrives and
+// returns its payload together with the actual source rank.
+// src may be AnySource and tag may be AnyTag.
+func Recv[T any](c *Comm, src, tag int) ([]T, int, error) {
+	msg, err := c.recv(src, tag)
+	if err != nil {
+		return nil, -1, err
+	}
+	data, ok := msg.payload.([]T)
+	if !ok {
+		return nil, msg.src, fmt.Errorf("mpi: recv type mismatch: message from rank %d tag %d holds %T", msg.src, msg.tag, msg.payload)
+	}
+	return data, msg.src, nil
+}
+
+// SendRecv performs a simultaneous send and receive, as MPI_Sendrecv.
+func SendRecv[T any](c *Comm, dest, sendTag int, data []T, src, recvTag int) ([]T, error) {
+	Send(c, dest, sendTag, data)
+	got, _, err := Recv[T](c, src, recvTag)
+	return got, err
+}
+
+// Split partitions the communicator into disjoint sub-communicators, one per
+// distinct color, as MPI_Comm_split. Ranks within a sub-communicator are
+// ordered by (key, old rank). Every rank of c must call Split.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	type ck struct{ Color, Key, Rank int }
+	mine := []ck{{color, key, c.rank}}
+	all, err := Allgather(c, mine)
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic new context id: derive from a collectively agreed value.
+	// Rank 0 of the parent allocates one id per color and broadcasts.
+	colors := map[int]bool{}
+	for _, e := range all {
+		colors[e.Color] = true
+	}
+	// Assign context ids on rank 0 and broadcast the (color -> ctx) table.
+	ncolors := len(colors)
+	ids := make([]int64, ncolors)
+	sorted := sortedKeys(colors)
+	if c.rank == 0 {
+		for i := range ids {
+			ids[i] = c.world.nextCtx.Add(1)
+		}
+	}
+	if err := Bcast(c, ids, 0); err != nil {
+		return nil, err
+	}
+	ctxOf := map[int]int{}
+	for i, col := range sorted {
+		ctxOf[col] = int(ids[i])
+	}
+	// Build my group: members with my color, sorted by (key, rank).
+	var members []ck
+	for _, e := range all {
+		if e.Color == color {
+			members = append(members, e)
+		}
+	}
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0; j-- {
+			a, b := members[j-1], members[j]
+			if b.Key < a.Key || (b.Key == a.Key && b.Rank < a.Rank) {
+				members[j-1], members[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	group := make([]int, len(members))
+	myNew := -1
+	for i, e := range members {
+		group[i] = c.group[e.Rank]
+		if e.Rank == c.rank {
+			myNew = i
+		}
+	}
+	return &Comm{world: c.world, rank: myNew, size: len(members), group: group, ctx: ctxOf[color]}, nil
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package nyx
+
+import (
+	"fmt"
+
+	"gosensei/internal/array"
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+)
+
+// DataAdaptor exposes the PM density through the SENSEI interface the way
+// the paper's Nyx instrumentation does: "we avoid data replication by
+// directly passing a pointer to the BoxLib data ... and blanking out ghost
+// cells by associating a vtkGhostLevels attribute". The exposed slab
+// includes the ghost layers, wrapped zero-copy, with a uint8 ghost array
+// marking them.
+type DataAdaptor struct {
+	core.BaseDataAdaptor
+	S *Sim
+
+	mesh *grid.ImageData
+}
+
+// NewDataAdaptor wraps a simulation.
+func NewDataAdaptor(s *Sim) *DataAdaptor { return &DataAdaptor{S: s} }
+
+// Update points the adaptor at the simulation's current step.
+func (d *DataAdaptor) Update() { d.SetStep(d.S.StepIndex(), d.S.Time()) }
+
+// Mesh implements core.DataAdaptor: the ghosted slab as image data. Cell
+// extents include the two ghost layers; the z extent is offset so slabs from
+// different ranks tile the (periodically extended) domain.
+func (d *DataAdaptor) Mesh(structureOnly bool) (grid.Dataset, error) {
+	if d.mesh == nil {
+		n := d.S.Cfg.GridCells
+		nz, offZ := d.S.LocalZ()
+		h := d.S.cellSize()
+		img := grid.NewImageData(grid.Extent{0, n, 0, n, offZ - 1, offZ + nz + 1})
+		img.Spacing = [3]float64{h, h, h}
+		d.mesh = img
+	}
+	return d.mesh, nil
+}
+
+// AddArray implements core.DataAdaptor: "dark_matter_density" wraps the
+// ghosted density slab zero-copy and attaches the vtkGhostLevels blanking
+// array; "potential" wraps phi the same way.
+func (d *DataAdaptor) AddArray(mesh grid.Dataset, assoc grid.Association, name string) error {
+	if assoc != grid.CellData {
+		return fmt.Errorf("nyx: only cell arrays are exposed, not %s %q", assoc, name)
+	}
+	img, ok := mesh.(*grid.ImageData)
+	if !ok {
+		return fmt.Errorf("nyx: mesh is %T", mesh)
+	}
+	var buf []float64
+	switch name {
+	case "dark_matter_density":
+		buf = d.S.Rho
+	case "potential":
+		buf = d.S.Phi
+	default:
+		return fmt.Errorf("nyx: no cell array %q (have dark_matter_density, potential)", name)
+	}
+	img.Attributes(grid.CellData).Add(array.WrapAOS(name, 1, buf))
+	if img.Attributes(grid.CellData).Get(grid.GhostArrayName) == nil {
+		img.Attributes(grid.CellData).Add(d.ghostLevels())
+	}
+	return nil
+}
+
+// ghostLevels marks the two ghost z layers of the slab.
+func (d *DataAdaptor) ghostLevels() *array.Typed[uint8] {
+	n := d.S.Cfg.GridCells
+	nz, _ := d.S.LocalZ()
+	gh := array.New[uint8](grid.GhostArrayName, 1, n*n*(nz+2))
+	plane := n * n
+	for idx := 0; idx < plane; idx++ {
+		gh.Set(idx, 0, 1)              // low ghost layer
+		gh.Set(plane*(nz+1)+idx, 0, 1) // high ghost layer
+	}
+	return gh
+}
+
+// ArrayNames implements core.DataAdaptor.
+func (d *DataAdaptor) ArrayNames(assoc grid.Association) ([]string, error) {
+	if assoc == grid.CellData {
+		return []string{"dark_matter_density", "potential"}, nil
+	}
+	return nil, nil
+}
+
+// ReleaseData implements core.DataAdaptor.
+func (d *DataAdaptor) ReleaseData() error {
+	d.mesh = nil
+	return nil
+}

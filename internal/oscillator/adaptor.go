@@ -1,0 +1,87 @@
+package oscillator
+
+import (
+	"fmt"
+
+	"gosensei/internal/array"
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+	"gosensei/internal/metrics"
+)
+
+// DataAdaptor maps the miniapp's state onto the SENSEI data model. The mesh
+// and array are constructed lazily, and the "data" array wraps simulation
+// memory zero-copy unless ForceCopy is set (the copying variant exists for
+// the zero-copy ablation benchmark).
+type DataAdaptor struct {
+	core.BaseDataAdaptor
+	Sim *Sim
+	// ForceCopy deep-copies the data array instead of wrapping it, modelling
+	// an infrastructure that cannot consume the simulation's layout.
+	ForceCopy bool
+	// Memory, when set, accounts for any copies the adaptor makes.
+	Memory *metrics.Tracker
+
+	mesh *grid.ImageData // cached per step; dropped by ReleaseData
+}
+
+// NewDataAdaptor wraps a simulation.
+func NewDataAdaptor(s *Sim) *DataAdaptor {
+	return &DataAdaptor{Sim: s}
+}
+
+// Update points the adaptor at the simulation's current step; the bridge
+// calls Execute immediately after.
+func (d *DataAdaptor) Update() {
+	d.SetStep(d.Sim.StepIndex(), d.Sim.Time())
+}
+
+// Mesh implements core.DataAdaptor.
+func (d *DataAdaptor) Mesh(structureOnly bool) (grid.Dataset, error) {
+	if d.mesh == nil {
+		d.mesh = d.Sim.Mesh()
+	}
+	return d.mesh, nil
+}
+
+// AddArray implements core.DataAdaptor.
+func (d *DataAdaptor) AddArray(mesh grid.Dataset, assoc grid.Association, name string) error {
+	if assoc != grid.CellData || name != "data" {
+		return fmt.Errorf("oscillator: no %s array %q (only cell array \"data\")", assoc, name)
+	}
+	img, ok := mesh.(*grid.ImageData)
+	if !ok {
+		return fmt.Errorf("oscillator: mesh is %T, want *grid.ImageData", mesh)
+	}
+	var a array.Array
+	if d.ForceCopy {
+		cp := make([]float64, len(d.Sim.Data))
+		copy(cp, d.Sim.Data)
+		a = array.WrapAOS(name, 1, cp)
+		if d.Memory != nil {
+			d.Memory.Alloc("adaptor/copy", int64(len(cp))*8)
+		}
+	} else {
+		a = d.Sim.WrapData() // zero-copy: no allocation registered
+	}
+	img.Attributes(grid.CellData).Add(a)
+	return nil
+}
+
+// ArrayNames implements core.DataAdaptor.
+func (d *DataAdaptor) ArrayNames(assoc grid.Association) ([]string, error) {
+	if assoc == grid.CellData {
+		return []string{"data"}, nil
+	}
+	return nil, nil
+}
+
+// ReleaseData implements core.DataAdaptor: drop the cached mesh so the next
+// step rebuilds it (and free any copies).
+func (d *DataAdaptor) ReleaseData() error {
+	d.mesh = nil
+	if d.ForceCopy && d.Memory != nil {
+		d.Memory.FreeAll("adaptor/copy")
+	}
+	return nil
+}

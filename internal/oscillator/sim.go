@@ -1,0 +1,171 @@
+package oscillator
+
+import (
+	"fmt"
+
+	"gosensei/internal/array"
+	"gosensei/internal/grid"
+	"gosensei/internal/metrics"
+	"gosensei/internal/mpi"
+)
+
+// Config describes one miniapp run.
+type Config struct {
+	// GlobalCells is the global grid size in cells per axis.
+	GlobalCells [3]int
+	// DT is the time resolution.
+	DT float64
+	// Steps is the number of time steps.
+	Steps int
+	// Sync adds a barrier after every step (off in the paper's experiments).
+	Sync bool
+	// Oscillators is the (already broadcast) source list.
+	Oscillators []Oscillator
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	for ax, n := range c.GlobalCells {
+		if n <= 0 {
+			return fmt.Errorf("oscillator: global cells axis %d must be positive, got %d", ax, n)
+		}
+	}
+	if c.DT <= 0 {
+		return fmt.Errorf("oscillator: dt must be positive, got %v", c.DT)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("oscillator: steps must be positive, got %d", c.Steps)
+	}
+	if len(c.Oscillators) == 0 {
+		return fmt.Errorf("oscillator: need at least one oscillator")
+	}
+	return nil
+}
+
+// Sim is the per-rank state of the miniapp: a block of the regular cell
+// decomposition and the cell-centered "data" array.
+type Sim struct {
+	Comm *mpi.Comm
+	Cfg  Config
+	// GlobalCellExtent covers all cells: [0, nx-1] x ...
+	GlobalCellExtent grid.Extent
+	// LocalCellExtent is this rank's owned cell block.
+	LocalCellExtent grid.Extent
+	// Data holds the local cell values, k-major (i fastest).
+	Data []float64
+
+	step int
+	time float64
+	mem  *metrics.Tracker
+}
+
+// NewSim builds the per-rank simulation state: the local block of a regular
+// decomposition of the global cell grid. mem may be nil.
+func NewSim(c *mpi.Comm, cfg Config, mem *metrics.Tracker) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mem == nil {
+		mem = metrics.NewTracker()
+	}
+	// Decompose the cell grid directly: each rank owns a disjoint cell block.
+	global := grid.Extent{0, cfg.GlobalCells[0] - 1, 0, cfg.GlobalCells[1] - 1, 0, cfg.GlobalCells[2] - 1}
+	parts := decomposeCells(global, c.Size())
+	local := parts[c.Rank()]
+	// Detect empty blocks collectively so every rank fails together instead
+	// of some ranks proceeding into collectives the others never enter.
+	ok := int64(1)
+	if !local.Valid() {
+		ok = 0
+	}
+	allOK := make([]int64, 1)
+	if err := mpi.Allreduce(c, []int64{ok}, allOK, mpi.OpMin); err != nil {
+		return nil, err
+	}
+	if allOK[0] == 0 {
+		return nil, fmt.Errorf("oscillator: grid %v too small for %d ranks (some blocks empty)", cfg.GlobalCells, c.Size())
+	}
+	nx, ny, nz := local.Dims() // here Dims counts cells since extents are cell extents
+	n := nx * ny * nz
+	s := &Sim{
+		Comm:             c,
+		Cfg:              cfg,
+		GlobalCellExtent: global,
+		LocalCellExtent:  local,
+		Data:             make([]float64, n),
+		mem:              mem,
+	}
+	mem.Alloc("oscillator/data", int64(n)*8)
+	return s, nil
+}
+
+// decomposeCells partitions an inclusive cell extent into disjoint blocks.
+// Unlike grid.DecomposeRegular (which splits point extents with shared
+// boundaries), cell ownership must not overlap.
+func decomposeCells(global grid.Extent, n int) []grid.Extent {
+	// A cell extent [0, c-1] corresponds to a point extent [0, c]; reuse the
+	// point decomposition and convert each block's points [lo, hi] to owned
+	// cells [lo, hi-1].
+	pts := grid.Extent{global[0], global[1] + 1, global[2], global[3] + 1, global[4], global[5] + 1}
+	parts := grid.DecomposeRegular(pts, n)
+	out := make([]grid.Extent, len(parts))
+	for i, p := range parts {
+		out[i] = grid.Extent{p[0], p[1] - 1, p[2], p[3] - 1, p[4], p[5] - 1}
+	}
+	return out
+}
+
+// Step advances the simulation one time step: every local cell receives the
+// sum of all oscillator contributions evaluated at the cell center.
+func (s *Sim) Step() error {
+	t := s.time
+	idx := 0
+	for k := s.LocalCellExtent[4]; k <= s.LocalCellExtent[5]; k++ {
+		z := float64(k) + 0.5
+		for j := s.LocalCellExtent[2]; j <= s.LocalCellExtent[3]; j++ {
+			y := float64(j) + 0.5
+			for i := s.LocalCellExtent[0]; i <= s.LocalCellExtent[1]; i++ {
+				x := float64(i) + 0.5
+				v := 0.0
+				for _, o := range s.Cfg.Oscillators {
+					v += o.Evaluate(x, y, z, t)
+				}
+				s.Data[idx] = v
+				idx++
+			}
+		}
+	}
+	s.step++
+	s.time += s.Cfg.DT
+	if s.Cfg.Sync {
+		return s.Comm.Barrier()
+	}
+	return nil
+}
+
+// StepIndex returns the number of completed steps.
+func (s *Sim) StepIndex() int { return s.step }
+
+// Time returns the current simulation time.
+func (s *Sim) Time() float64 { return s.time }
+
+// LocalCells returns the number of cells owned by this rank.
+func (s *Sim) LocalCells() int { return len(s.Data) }
+
+// Free releases the tracked memory accounting for the simulation data.
+func (s *Sim) Free() { s.mem.FreeAll("oscillator/data") }
+
+// Mesh returns the local block as image data whose cell extent matches the
+// rank's owned cells. The cell data array is NOT attached; that is the data
+// adaptor's job (and keeping it lazy is the point of the SENSEI design).
+func (s *Sim) Mesh() *grid.ImageData {
+	// Convert the owned cell extent to a point extent.
+	e := s.LocalCellExtent
+	img := grid.NewImageData(grid.Extent{e[0], e[1] + 1, e[2], e[3] + 1, e[4], e[5] + 1})
+	return img
+}
+
+// WrapData returns the local cell data as a zero-copy array named "data".
+func (s *Sim) WrapData() *array.Typed[float64] {
+	return array.WrapAOS("data", 1, s.Data)
+}

@@ -1,0 +1,78 @@
+package phasta
+
+import (
+	"fmt"
+
+	"gosensei/internal/array"
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+	"gosensei/internal/metrics"
+)
+
+// DataAdaptor maps the PHASTA proxy onto the SENSEI data model exactly as
+// the paper describes the real instrumentation: "the data adaptor uses VTK's
+// zero-copy ability to map the nodal coordinates and field variables while
+// the VTK grid connectivity is a full copy. The grid and fields are
+// constructed as needed but the pointers to the PHASTA grid data structures
+// are passed every time in situ is accessed."
+type DataAdaptor struct {
+	core.BaseDataAdaptor
+	S *Solver
+	// Memory, when set, accounts for the connectivity copy.
+	Memory *metrics.Tracker
+
+	mesh *grid.UnstructuredGrid
+}
+
+// NewDataAdaptor wraps a solver.
+func NewDataAdaptor(s *Solver) *DataAdaptor { return &DataAdaptor{S: s} }
+
+// Update points the adaptor at the solver's current step.
+func (d *DataAdaptor) Update() { d.SetStep(d.S.StepIndex(), d.S.Time()) }
+
+// Mesh implements core.DataAdaptor. Points wrap the solver's SOA coordinate
+// planes zero-copy; connectivity is rebuilt as a full copy on each fresh
+// mesh request.
+func (d *DataAdaptor) Mesh(structureOnly bool) (grid.Dataset, error) {
+	if d.mesh == nil {
+		pts := array.WrapSOA("coordinates", d.S.X, d.S.Y, d.S.Z)
+		conn := d.S.BuildConnectivity()
+		if d.Memory != nil {
+			d.Memory.Alloc("phasta/connectivity", int64(len(conn))*8)
+		}
+		d.mesh = grid.NewUnstructuredGrid(pts, grid.CellTetrahedron, conn)
+	}
+	return d.mesh, nil
+}
+
+// AddArray implements core.DataAdaptor: the nodal velocity wraps the
+// solver's interleaved buffer zero-copy (AOS).
+func (d *DataAdaptor) AddArray(mesh grid.Dataset, assoc grid.Association, name string) error {
+	if assoc != grid.PointData || name != "velocity" {
+		return fmt.Errorf("phasta: no %s array %q (only point array \"velocity\")", assoc, name)
+	}
+	g, ok := mesh.(*grid.UnstructuredGrid)
+	if !ok {
+		return fmt.Errorf("phasta: mesh is %T", mesh)
+	}
+	g.Attributes(grid.PointData).Add(array.WrapAOS(name, 3, d.S.Vel))
+	return nil
+}
+
+// ArrayNames implements core.DataAdaptor.
+func (d *DataAdaptor) ArrayNames(assoc grid.Association) ([]string, error) {
+	if assoc == grid.PointData {
+		return []string{"velocity"}, nil
+	}
+	return nil, nil
+}
+
+// ReleaseData implements core.DataAdaptor: drops the connectivity copy; the
+// next access reconstructs it.
+func (d *DataAdaptor) ReleaseData() error {
+	d.mesh = nil
+	if d.Memory != nil {
+		d.Memory.FreeAll("phasta/connectivity")
+	}
+	return nil
+}

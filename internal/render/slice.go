@@ -1,0 +1,278 @@
+package render
+
+import (
+	"fmt"
+	"math"
+
+	"gosensei/internal/colormap"
+	"gosensei/internal/grid"
+)
+
+// Plane is an oriented slicing plane.
+type Plane struct {
+	Origin Vec3
+	Normal Vec3
+}
+
+// AxisPlane returns a plane orthogonal to the given axis (0=x, 1=y, 2=z) at
+// the given coordinate.
+func AxisPlane(axis int, coord float64) Plane {
+	var n Vec3
+	n[axis] = 1
+	var o Vec3
+	o[axis] = coord
+	return Plane{Origin: o, Normal: n}
+}
+
+// Basis returns two unit vectors spanning the plane.
+func (p Plane) Basis() (u, v Vec3) {
+	n := p.Normal.Normalized()
+	ref := Vec3{1, 0, 0}
+	if math.Abs(n[0]) > 0.9 {
+		ref = Vec3{0, 1, 0}
+	}
+	u = n.Cross(ref).Normalized()
+	v = n.Cross(u).Normalized()
+	return u, v
+}
+
+// SignedDistance returns the signed distance of q from the plane.
+func (p Plane) SignedDistance(q Vec3) float64 {
+	return p.Normal.Normalized().Dot(q.Sub(p.Origin))
+}
+
+// SliceSpec describes one slice-and-pseudocolor rendering, the workload of
+// the paper's Catalyst-slice and Libsim-slice configurations.
+type SliceSpec struct {
+	Plane     Plane
+	ArrayName string
+	Assoc     grid.Association
+	// Lo, Hi is the global scalar range the colors map; the caller computes
+	// it (usually with two allreduces) so all ranks agree.
+	Lo, Hi float64
+	Map    *colormap.Map
+	// DomainBounds is the global domain bounding box; it fixes the
+	// pixel-to-world mapping identically on every rank.
+	DomainBounds [6]float64
+}
+
+// planeWindow computes the in-plane bounding rectangle of the domain corners.
+func (s *SliceSpec) planeWindow() (u, v Vec3, umin, umax, vmin, vmax float64) {
+	u, v = s.Plane.Basis()
+	umin, vmin = math.Inf(1), math.Inf(1)
+	umax, vmax = math.Inf(-1), math.Inf(-1)
+	b := s.DomainBounds
+	for ci := 0; ci < 8; ci++ {
+		p := Vec3{b[ci&1], b[2+(ci>>1)&1], b[4+(ci>>2)&1]}
+		rel := p.Sub(s.Plane.Origin)
+		pu, pv := rel.Dot(u), rel.Dot(v)
+		umin = math.Min(umin, pu)
+		umax = math.Max(umax, pu)
+		vmin = math.Min(vmin, pv)
+		vmax = math.Max(vmax, pv)
+	}
+	return u, v, umin, umax, vmin, vmax
+}
+
+// ResampleImageSlice renders this rank's portion of the slice into fb by
+// sampling the plane at every pixel: pixels whose world point falls in a
+// local (non-ghost) cell are pseudocolored. Ranks not intersecting the plane
+// write nothing — the paper's "only those ranks whose domains intersect the
+// slice plane will extract and render" stage. The composited result across
+// ranks is the full slice image.
+func ResampleImageSlice(fb *Framebuffer, img *grid.ImageData, spec *SliceSpec) error {
+	a := img.Attributes(spec.Assoc).Get(spec.ArrayName)
+	if a == nil {
+		return fmt.Errorf("render: slice: mesh has no %s array %q", spec.Assoc, spec.ArrayName)
+	}
+	if spec.Map == nil {
+		return fmt.Errorf("render: slice: nil colormap")
+	}
+	ghost := img.Attributes(spec.Assoc).Get(grid.GhostArrayName)
+
+	// Quick rejection: does the plane intersect the local block at all?
+	lb := img.Bounds()
+	if !planeIntersectsBox(spec.Plane, lb) {
+		return nil
+	}
+	u, v, umin, umax, vmin, vmax := spec.planeWindow()
+	du := (umax - umin) / float64(fb.W)
+	dv := (vmax - vmin) / float64(fb.H)
+
+	ext := img.Extent
+	cx, cy, cz := ext.CellDims()
+	for py := 0; py < fb.H; py++ {
+		pv := vmin + (float64(py)+0.5)*dv
+		for px := 0; px < fb.W; px++ {
+			pu := umin + (float64(px)+0.5)*du
+			w := spec.Plane.Origin.Add(u.Scale(pu)).Add(v.Scale(pv))
+			// World to cell index.
+			fi := (w[0] - img.Origin[0]) / img.Spacing[0]
+			fj := (w[1] - img.Origin[1]) / img.Spacing[1]
+			fk := (w[2] - img.Origin[2]) / img.Spacing[2]
+			ci := int(math.Floor(fi)) - ext[0]
+			cj := int(math.Floor(fj)) - ext[2]
+			ck := int(math.Floor(fk)) - ext[4]
+			if ci < 0 || ci >= cx || cj < 0 || cj >= cy || ck < 0 || ck >= cz {
+				continue
+			}
+			var val float64
+			if spec.Assoc == grid.CellData {
+				idx := ck*cx*cy + cj*cx + ci
+				if ghost != nil && ghost.Value(idx, 0) != 0 {
+					continue
+				}
+				val = a.Value(idx, 0)
+			} else {
+				val = trilinear(img, a, fi-float64(ext[0]), fj-float64(ext[2]), fk-float64(ext[4]))
+			}
+			fb.Set(px, py, spec.Map.Pseudocolor(val, spec.Lo, spec.Hi), 0)
+		}
+	}
+	return nil
+}
+
+func planeIntersectsBox(p Plane, b [6]float64) bool {
+	neg, pos := false, false
+	for ci := 0; ci < 8; ci++ {
+		q := Vec3{b[ci&1], b[2+(ci>>1)&1], b[4+(ci>>2)&1]}
+		d := p.SignedDistance(q)
+		if d <= 0 {
+			neg = true
+		}
+		if d >= 0 {
+			pos = true
+		}
+	}
+	return neg && pos
+}
+
+// trilinear samples a point-centered scalar at fractional point coordinates
+// (relative to the local extent origin), clamping to the local grid.
+func trilinear(img *grid.ImageData, a interface{ Value(int, int) float64 }, fi, fj, fk float64) float64 {
+	nx, ny, nz := img.Extent.Dims()
+	clampf := func(f float64, n int) (int, float64) {
+		i := int(math.Floor(f))
+		t := f - float64(i)
+		if i < 0 {
+			return 0, 0
+		}
+		if i >= n-1 {
+			return n - 2, 1
+		}
+		return i, t
+	}
+	if nx < 2 || ny < 2 || nz < 2 {
+		return a.Value(0, 0)
+	}
+	i, tx := clampf(fi, nx)
+	j, ty := clampf(fj, ny)
+	k, tz := clampf(fk, nz)
+	at := func(ii, jj, kk int) float64 {
+		return a.Value(kk*nx*ny+jj*nx+ii, 0)
+	}
+	lerp := func(x, y, t float64) float64 { return x + (y-x)*t }
+	c00 := lerp(at(i, j, k), at(i+1, j, k), tx)
+	c10 := lerp(at(i, j+1, k), at(i+1, j+1, k), tx)
+	c01 := lerp(at(i, j, k+1), at(i+1, j, k+1), tx)
+	c11 := lerp(at(i, j+1, k+1), at(i+1, j+1, k+1), tx)
+	return lerp(lerp(c00, c10, ty), lerp(c01, c11, ty), tz)
+}
+
+// SliceUnstructured extracts the plane intersection of a tetrahedral mesh as
+// triangles with interpolated point scalars, in world space. Rasterize the
+// result with RenderMesh using a camera looking down the plane normal. Cells
+// other than tetrahedra are skipped.
+func SliceUnstructured(g *grid.UnstructuredGrid, spec *SliceSpec) (*TriMesh, error) {
+	a := g.Attributes(spec.Assoc).Get(spec.ArrayName)
+	if a == nil {
+		return nil, fmt.Errorf("render: slice: mesh has no %s array %q", spec.Assoc, spec.ArrayName)
+	}
+	if spec.Assoc != grid.PointData {
+		return nil, fmt.Errorf("render: unstructured slice needs point data")
+	}
+	out := &TriMesh{}
+	pt := func(id int64) Vec3 {
+		return Vec3{g.Points.Value(int(id), 0), g.Points.Value(int(id), 1), g.Points.Value(int(id), 2)}
+	}
+	scalar := func(id int64) float64 {
+		if a.Components() == 1 {
+			return a.Value(int(id), 0)
+		}
+		// Multi-component arrays are sliced by magnitude (velocity magnitude
+		// pseudocoloring, as the PHASTA runs do).
+		s := 0.0
+		for c := 0; c < a.Components(); c++ {
+			v := a.Value(int(id), c)
+			s += v * v
+		}
+		return math.Sqrt(s)
+	}
+	for ci := 0; ci < g.NumberOfCells(); ci++ {
+		if g.CellTypes[ci] != grid.CellTetrahedron {
+			continue
+		}
+		ids := g.CellPoints(ci)
+		var p [4]Vec3
+		var d [4]float64
+		var s [4]float64
+		for i := 0; i < 4; i++ {
+			p[i] = pt(ids[i])
+			d[i] = spec.Plane.SignedDistance(p[i])
+			s[i] = scalar(ids[i])
+		}
+		clipTetAgainstPlane(out, p, d, s)
+	}
+	return out, nil
+}
+
+// clipTetAgainstPlane appends the polygon where the plane cuts the tet
+// (0, 1, or 2 triangles).
+func clipTetAgainstPlane(out *TriMesh, p [4]Vec3, d [4]float64, s [4]float64) {
+	type cut struct {
+		pos Vec3
+		sc  float64
+	}
+	var cuts []cut
+	edges := [6][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if (d[a] < 0) == (d[b] < 0) {
+			continue
+		}
+		t := d[a] / (d[a] - d[b])
+		pos := p[a].Add(p[b].Sub(p[a]).Scale(t))
+		sc := s[a] + (s[b]-s[a])*t
+		cuts = append(cuts, cut{pos, sc})
+	}
+	switch len(cuts) {
+	case 3:
+		out.Append(cuts[0].pos, cuts[1].pos, cuts[2].pos, cuts[0].sc, cuts[1].sc, cuts[2].sc)
+	case 4:
+		// Order the quad by angle around its centroid to avoid a bowtie.
+		var c Vec3
+		for _, q := range cuts {
+			c = c.Add(q.pos)
+		}
+		c = c.Scale(0.25)
+		n := cuts[1].pos.Sub(cuts[0].pos).Cross(cuts[2].pos.Sub(cuts[0].pos)).Normalized()
+		u := cuts[0].pos.Sub(c).Normalized()
+		v := n.Cross(u)
+		type ang struct {
+			a float64
+			c cut
+		}
+		angs := make([]ang, 4)
+		for i, q := range cuts {
+			rel := q.pos.Sub(c)
+			angs[i] = ang{math.Atan2(rel.Dot(v), rel.Dot(u)), q}
+		}
+		for i := 1; i < 4; i++ {
+			for j := i; j > 0 && angs[j].a < angs[j-1].a; j-- {
+				angs[j], angs[j-1] = angs[j-1], angs[j]
+			}
+		}
+		out.Append(angs[0].c.pos, angs[1].c.pos, angs[2].c.pos, angs[0].c.sc, angs[1].c.sc, angs[2].c.sc)
+		out.Append(angs[0].c.pos, angs[2].c.pos, angs[3].c.pos, angs[0].c.sc, angs[2].c.sc, angs[3].c.sc)
+	}
+}
