@@ -1,8 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet test bench race cover experiments examples clean
+.PHONY: all check build vet test bench bench-smoke race cover experiments examples clean
 
 all: build vet test
+
+check: build vet test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -14,10 +16,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/mpi/ ./internal/adios/ ./internal/live/
+	$(GO) test -race ./internal/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# A single-iteration pass over the hot-path benchmarks: catches bit-rot in
+# the benchmark harness without paying for stable timings.
+bench-smoke:
+	$(GO) test -run XXX -bench 'Fig3OscillatorKernel|RasterizeMesh|Tab2PNGEncode1080p|AblationCompositing|HistogramBinning' -benchtime=1x -benchmem .
 
 cover:
 	$(GO) test -cover ./...

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"gosensei/internal/experiments"
+	"gosensei/internal/parallel"
 	"gosensei/internal/perfmodel"
 )
 
@@ -30,8 +31,12 @@ func main() {
 		imageH    = flag.Int("image-height", 54, "executed-row image height")
 		calibrate = flag.Bool("calibrate", true, "measure kernel costs on this host for the model rows")
 		seed      = flag.Int64("seed", 1, "I/O variability seed")
+		threads   = flag.Int("threads", 0, "process thread budget shared across ranks (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *threads > 0 {
+		parallel.SetThreads(*threads)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -27,6 +27,7 @@ import (
 	"gosensei/internal/metrics"
 	"gosensei/internal/mpi"
 	"gosensei/internal/oscillator"
+	"gosensei/internal/parallel"
 )
 
 func main() {
@@ -38,9 +39,13 @@ func main() {
 		sync    = flag.Bool("sync", false, "barrier after every step")
 		deck    = flag.String("deck", "", "oscillator input deck (default: built-in three-source deck)")
 		config  = flag.String("config", "", "SENSEI analysis configuration XML")
+		threads = flag.Int("threads", 0, "process thread budget shared across ranks (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "print per-rank timing summary")
 	)
 	flag.Parse()
+	if *threads > 0 {
+		parallel.SetThreads(*threads)
+	}
 
 	var configDoc []byte
 	if *config != "" {

@@ -147,7 +147,15 @@ func (h *Histogram) Compute(step int, mesh grid.Dataset) (*HistogramResult, erro
 		h.Memory.Alloc("histogram/bins", int64(h.Bins)*8)
 		defer h.Memory.FreeAll("histogram/bins")
 	}
+	// One division up front: the inner loop bins by multiply-compare, which
+	// replaces a per-sample divide (the histogram inner loop runs once per
+	// cell per step, so the constant factor matters at miniapp scale).
 	width := (hi - lo) / float64(h.Bins)
+	invWidth := 0.0
+	if width > 0 {
+		invWidth = 1 / width
+	}
+	maxBin := h.Bins - 1
 	for _, src := range sources {
 		n := src.Values.Tuples()
 		for i := 0; i < n; i++ {
@@ -156,10 +164,10 @@ func (h *Histogram) Compute(step int, mesh grid.Dataset) (*HistogramResult, erro
 			}
 			v := src.Values.Value(i, 0)
 			b := 0
-			if width > 0 {
-				b = int((v - lo) / width)
-				if b >= h.Bins {
-					b = h.Bins - 1
+			if invWidth > 0 {
+				b = int((v - lo) * invWidth)
+				if b > maxBin {
+					b = maxBin
 				}
 				if b < 0 {
 					b = 0

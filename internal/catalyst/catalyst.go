@@ -27,6 +27,7 @@ import (
 	"gosensei/internal/live"
 	"gosensei/internal/metrics"
 	"gosensei/internal/mpi"
+	"gosensei/internal/parallel"
 	"gosensei/internal/render"
 )
 
@@ -63,8 +64,12 @@ func init() {
 			Map:             cm,
 			OutputDir:       attrs.String("output-dir", ""),
 			SkipCompression: attrs.Bool("skip-png-compression", false),
+			ParallelPNG:     attrs.Bool("parallel-png", false),
 			Stride:          1,
 		})
+		if t, err := attrs.Int("threads", 0); err == nil && t > 0 {
+			a.Opts.Workers = t
+		}
 		a.Registry = env.Registry
 		a.Memory = env.Memory
 		if s, err := attrs.Int("stride", 1); err == nil && s > 0 {
@@ -91,6 +96,13 @@ type Options struct {
 	SkipCompression bool
 	// Stride runs the pipeline every Stride-th step (1 = every step).
 	Stride int
+	// Workers requests intra-rank parallelism for the render and encode
+	// stages; 0 derives it from the process thread budget divided by the
+	// communicator size. Output is bit-identical at any worker count.
+	Workers int
+	// ParallelPNG selects the stripe-parallel PNG encoder on rank 0; off
+	// reproduces the paper's serial rank-0 encode.
+	ParallelPNG bool
 	// Edition selects the linked feature set; nil means RenderingEdition.
 	Edition *Edition
 	// Hub, when set, receives every composited frame for live viewers (the
@@ -130,6 +142,16 @@ func NewSliceAdaptor(c *mpi.Comm, opts Options) *SliceAdaptor {
 
 // ImagesWritten reports how many images rank 0 produced.
 func (a *SliceAdaptor) ImagesWritten() int { return a.imagesOut }
+
+// workers resolves the intra-rank worker count against the process thread
+// budget, so goroutine-ranks times workers stays bounded under mpi.Run.
+func (a *SliceAdaptor) workers() int {
+	ranks := 1
+	if a.Comm != nil {
+		ranks = a.Comm.Size()
+	}
+	return parallel.Workers(a.Opts.Workers, ranks)
+}
 
 // Initialize builds the pipeline: validates the Edition covers the needed
 // features and accounts for the framebuffer memory.
@@ -178,9 +200,10 @@ func (a *SliceAdaptor) Execute(d core.DataAdaptor) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	fb := render.NewFramebuffer(a.Opts.Width, a.Opts.Height)
+	fb := render.AcquireFramebuffer(a.Opts.Width, a.Opts.Height)
 	a.reg().Time("catalyst::render", step, func() { err = a.renderLocal(fb, mesh, spec) })
 	if err != nil {
+		fb.Release()
 		return false, err
 	}
 	var final *render.Framebuffer
@@ -188,11 +211,18 @@ func (a *SliceAdaptor) Execute(d core.DataAdaptor) (bool, error) {
 		final, err = compositing.Composite(a.Comm, fb, 0, compositing.BinarySwap)
 	})
 	if err != nil {
+		fb.Release()
 		return false, err
 	}
 	if final != nil { // rank 0
 		err = a.writeImage(final, step)
 	}
+	// The compositor may hand rank 0 back its own buffer (p == 1); release
+	// each underlying framebuffer exactly once.
+	if final != nil && final != fb {
+		final.Release()
+	}
+	fb.Release()
 	return true, err
 }
 
@@ -234,6 +264,7 @@ func (a *SliceAdaptor) buildSpec(mesh grid.Dataset) (*render.SliceSpec, error) {
 		Hi:           recvHi[0],
 		Map:          a.Opts.Map,
 		DomainBounds: bounds,
+		Workers:      a.workers(),
 	}, nil
 }
 
@@ -272,9 +303,9 @@ func (a *SliceAdaptor) renderLocal(fb *render.Framebuffer, mesh grid.Dataset, sp
 			return err
 		}
 		cm := spec.Map
-		render.RenderMesh(fb, cam, tris, func(s float64) color.RGBA {
+		render.RenderMeshWorkers(fb, cam, tris, func(s float64) color.RGBA {
 			return cm.Pseudocolor(s, spec.Lo, spec.Hi)
-		})
+		}, spec.Workers)
 		return nil
 	default:
 		return fmt.Errorf("catalyst: unsupported dataset kind %v", mesh.Kind())
@@ -302,7 +333,7 @@ func (a *SliceAdaptor) writeImage(final *render.Framebuffer, step int) error {
 		defer f.Close()
 		w = f
 	}
-	opts := render.PNGOptions{}
+	opts := render.PNGOptions{Parallel: a.Opts.ParallelPNG, Workers: a.workers()}
 	if a.Opts.SkipCompression {
 		opts.Compression = png.NoCompression
 	}

@@ -22,6 +22,7 @@ package compositing
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"gosensei/internal/mpi"
 	"gosensei/internal/render"
@@ -62,12 +63,39 @@ const (
 	tagTree   = 103
 )
 
+// packPool recycles pack/receive buffers across compositing rounds. Pack
+// buffers travel zero-copy via mpi.SendOwned — ownership transfers to the
+// receiver, which returns the buffer to this process-wide pool after
+// unpackMerge — so at steady state no image-sized allocation happens per
+// round in either compositor. Pointers to slices are pooled to avoid boxing
+// allocations.
+var packPool sync.Pool // *[]float32
+
+func getPack(n int) []float32 {
+	if v := packPool.Get(); v != nil {
+		buf := *(v.(*[]float32))
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]float32, n)
+}
+
+func putPack(buf []float32) {
+	if buf == nil {
+		return
+	}
+	packPool.Put(&buf)
+}
+
 // pack flattens a pixel range [lo, hi) into one float32 message:
 // [depth..., r, g, b, a as float32...]. A single slice keeps each exchange
 // to one message, matching the "image-sized buffers" the paper describes.
+// The returned buffer comes from packPool; callers return it with putPack
+// once the message has been handed to mpi (which copies on send).
 func pack(fb *render.Framebuffer, lo, hi int) []float32 {
 	n := hi - lo
-	out := make([]float32, n*5)
+	out := getPack(n * 5)
 	copy(out[:n], fb.Depth[lo:hi])
 	for i := 0; i < n*4; i++ {
 		out[n+i] = float32(fb.Color[lo*4+i])
@@ -101,13 +129,15 @@ func binarySwap(c *mpi.Comm, fb *render.Framebuffer, root int) (*render.Framebuf
 	rank := c.Rank()
 	// Fold phase: ranks >= pow send their whole image to rank - pow.
 	if rank >= pow {
-		mpi.Send(c, rank-pow, tagSwap, pack(fb, 0, total))
+		msg := pack(fb, 0, total)
+		mpi.SendOwned(c, rank-pow, tagSwap, msg)
 	} else if rank+pow < p {
 		buf, _, err := mpi.Recv[float32](c, rank+pow, tagSwap)
 		if err != nil {
 			return nil, fmt.Errorf("compositing: fold: %w", err)
 		}
 		unpackMerge(fb, buf, 0, total)
+		putPack(buf)
 	}
 	var final *render.Framebuffer
 	if rank < pow {
@@ -122,16 +152,18 @@ func binarySwap(c *mpi.Comm, fb *render.Framebuffer, root int) (*render.Framebuf
 			} else {
 				sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 			}
-			buf, err := mpi.SendRecv(c, partner, tagSwap, pack(fb, sendLo, sendHi), partner, tagSwap)
+			msg := pack(fb, sendLo, sendHi)
+			buf, err := mpi.SendRecvOwned(c, partner, tagSwap, msg, partner, tagSwap)
 			if err != nil {
 				return nil, fmt.Errorf("compositing: swap stage %d: %w", stage, err)
 			}
 			unpackMerge(fb, buf, keepLo, keepHi)
+			putPack(buf)
 			lo, hi = keepLo, keepHi
 		}
 		// Gather the stripes to root.
 		if rank == root%pow {
-			final = render.NewFramebuffer(fb.W, fb.H)
+			final = render.AcquireFramebuffer(fb.W, fb.H)
 			final.CompositeRegion(fb, lo, hi)
 			for other := 0; other < pow; other++ {
 				if other == rank {
@@ -143,23 +175,28 @@ func binarySwap(c *mpi.Comm, fb *render.Framebuffer, root int) (*render.Framebuf
 				}
 				oLo, oHi := stripeOf(other, pow, total)
 				unpackMerge(final, buf, oLo, oHi)
+				putPack(buf)
 			}
 		} else {
-			mpi.Send(c, root%pow, tagGather, pack(fb, lo, hi))
+			msg := pack(fb, lo, hi)
+			mpi.SendOwned(c, root%pow, tagGather, msg)
 		}
 	}
 	// Ship the result to the true root if it was folded away.
 	if root%pow != root {
 		if rank == root%pow {
-			mpi.Send(c, root, tagGather, pack(final, 0, total))
+			msg := pack(final, 0, total)
+			mpi.SendOwned(c, root, tagGather, msg)
+			final.Release()
 			final = nil
 		} else if rank == root {
 			buf, _, err := mpi.Recv[float32](c, root%pow, tagGather)
 			if err != nil {
 				return nil, err
 			}
-			final = render.NewFramebuffer(fb.W, fb.H)
+			final = render.AcquireFramebuffer(fb.W, fb.H)
 			unpackMerge(final, buf, 0, total)
+			putPack(buf)
 		}
 	}
 	if rank == root && final == nil {
@@ -198,7 +235,8 @@ func directSend(c *mpi.Comm, fb *render.Framebuffer, root int) (*render.Framebuf
 	for mask < p {
 		if vrank&mask != 0 {
 			parent := ((vrank &^ mask) + root) % p
-			mpi.Send(c, parent, tagTree, pack(fb, 0, total))
+			msg := pack(fb, 0, total)
+			mpi.SendOwned(c, parent, tagTree, msg)
 			return nil, nil
 		}
 		vchild := vrank | mask
@@ -208,6 +246,7 @@ func directSend(c *mpi.Comm, fb *render.Framebuffer, root int) (*render.Framebuf
 				return nil, fmt.Errorf("compositing: tree: %w", err)
 			}
 			unpackMerge(fb, buf, 0, total)
+			putPack(buf)
 		}
 		mask <<= 1
 	}

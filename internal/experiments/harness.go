@@ -76,6 +76,10 @@ type Options struct {
 	Calibration perfmodel.Calibration
 	// Seed drives the iosim variability stream.
 	Seed int64
+	// Threads requests intra-rank parallelism in the executed miniapp
+	// pipelines (0 means the process thread budget divided across ranks).
+	// Results are bit-identical at any setting.
+	Threads int
 }
 
 // DefaultOptions returns CI-friendly settings.
@@ -146,6 +150,7 @@ func RunMiniapp(cfg Configuration, opt Options) (*MiniappTimings, error) {
 		DT:          0.05,
 		Steps:       opt.RealSteps,
 		Oscillators: oscillator.DefaultDeck(float64(opt.RealCells)),
+		Threads:     opt.Threads,
 	}
 	out := &MiniappTimings{Config: cfg, Ranks: opt.RealRanks}
 	var images int
@@ -189,6 +194,7 @@ func RunMiniapp(cfg Configuration, opt Options) (*MiniappTimings, error) {
 					ArrayName: "data", Assoc: grid.CellData,
 					Width: opt.ImageW, Height: opt.ImageH,
 					SliceAxis: 2, SliceCoord: float64(opt.RealCells) / 2,
+					Workers: opt.Threads,
 				})
 				catalystA.Registry = reg
 				catalystA.Memory = mem
@@ -198,7 +204,7 @@ func RunMiniapp(cfg Configuration, opt Options) (*MiniappTimings, error) {
 				session := libsim.DefaultSliceSession("data", float64(opt.RealCells)/2)
 				session.Image.Width = opt.ImageW
 				session.Image.Height = opt.ImageH
-				libsimA = libsim.NewAdaptor(c, session, libsim.Options{})
+				libsimA = libsim.NewAdaptor(c, session, libsim.Options{Workers: opt.Threads})
 				libsimA.Registry = reg
 				libsimA.Memory = mem
 				err = libsimA.Initialize()

@@ -24,6 +24,7 @@ import (
 	"gosensei/internal/live"
 	"gosensei/internal/metrics"
 	"gosensei/internal/mpi"
+	"gosensei/internal/parallel"
 	"gosensei/internal/render"
 )
 
@@ -57,7 +58,11 @@ func init() {
 			OutputDir:   attrs.String("output-dir", ""),
 			Stride:      stride,
 			SessionPath: path,
+			ParallelPNG: attrs.Bool("parallel-png", false),
 		})
+		if t, terr := attrs.Int("threads", 0); terr == nil && t > 0 {
+			a.Opts.Workers = t
+		}
 		a.Registry = env.Registry
 		a.Memory = env.Memory
 		return a, nil
@@ -183,6 +188,13 @@ type Options struct {
 	// Hub, when set, receives every composited frame for live viewers (the
 	// VisIt live-connection capability).
 	Hub *live.Hub
+	// Workers requests intra-rank parallelism for the render and encode
+	// stages; 0 derives it from the process thread budget divided by the
+	// communicator size. Output is bit-identical at any worker count.
+	Workers int
+	// ParallelPNG selects the stripe-parallel PNG encoder on rank 0; off
+	// reproduces the paper's serial rank-0 encode.
+	ParallelPNG bool
 }
 
 // Adaptor is the Libsim analysis adaptor.
@@ -208,6 +220,16 @@ func NewAdaptor(c *mpi.Comm, session *Session, opts Options) *Adaptor {
 
 // ImagesWritten reports how many images rank 0 produced.
 func (a *Adaptor) ImagesWritten() int { return a.imagesOut }
+
+// workers resolves the intra-rank worker count against the process thread
+// budget, so goroutine-ranks times workers stays bounded under mpi.Run.
+func (a *Adaptor) workers() int {
+	ranks := 1
+	if a.Comm != nil {
+		ranks = a.Comm.Size()
+	}
+	return parallel.Workers(a.Opts.Workers, ranks)
+}
 
 func (a *Adaptor) reg() *metrics.Registry {
 	if a.Registry == nil {
@@ -255,10 +277,11 @@ func (a *Adaptor) Execute(d core.DataAdaptor) (bool, error) {
 	if len(a.Session.Plots) == 1 && a.Session.Plots[0].Type == "volume" {
 		return a.executeVolume(d, step)
 	}
-	fb := render.NewFramebuffer(a.Session.Image.Width, a.Session.Image.Height)
+	fb := render.AcquireFramebuffer(a.Session.Image.Width, a.Session.Image.Height)
 	var err error
 	a.reg().Time("libsim::render", step, func() { err = a.renderPlots(d, fb) })
 	if err != nil {
+		fb.Release()
 		return false, err
 	}
 	var final *render.Framebuffer
@@ -266,11 +289,18 @@ func (a *Adaptor) Execute(d core.DataAdaptor) (bool, error) {
 		final, err = compositing.Composite(a.Comm, fb, 0, compositing.DirectSend)
 	})
 	if err != nil {
+		fb.Release()
 		return false, err
 	}
 	if final != nil {
 		err = a.writeImage(final, step)
 	}
+	// DirectSend returns rank 0's own buffer as the final image; release each
+	// underlying framebuffer exactly once.
+	if final != nil && final != fb {
+		final.Release()
+	}
+	fb.Release()
 	return true, err
 }
 
@@ -303,6 +333,7 @@ func (a *Adaptor) executeVolume(d core.DataAdaptor, step int) (bool, error) {
 	spec := &render.VolumeSpec{
 		ArrayName: p.Array, Axis: axis, Lo: lo, Hi: hi,
 		Map: cm, OpacityScale: opacity, DomainBounds: bounds,
+		Workers: a.workers(),
 	}
 	var (
 		local    *render.AlphaImage
@@ -357,6 +388,7 @@ func (a *Adaptor) renderPlots(d core.DataAdaptor, fb *render.Framebuffer) error 
 			spec := &render.SliceSpec{
 				Plane: render.AxisPlane(axis, p.Coord), ArrayName: p.Array,
 				Assoc: assoc, Lo: lo, Hi: hi, Map: cm, DomainBounds: bounds,
+				Workers: a.workers(),
 			}
 			if err := a.renderSlice3D(fb, img, spec, bounds); err != nil {
 				return fmt.Errorf("plot %d: %w", i, err)
@@ -368,14 +400,14 @@ func (a *Adaptor) renderPlots(d core.DataAdaptor, fb *render.Framebuffer) error 
 					return fmt.Errorf("plot %d: %w", i, err)
 				}
 			}
-			tris, err := render.Isosurface(img, name, p.Value, p.ColorBy)
+			tris, err := render.IsosurfaceWorkers(img, name, p.Value, p.ColorBy, a.workers())
 			if err != nil {
 				return fmt.Errorf("plot %d: %w", i, err)
 			}
 			cam := render.DefaultCamera(bounds)
-			render.RenderMesh(fb, cam, tris, func(s float64) color.RGBA {
+			render.RenderMeshWorkers(fb, cam, tris, func(s float64) color.RGBA {
 				return cm.Pseudocolor(s, lo, hi)
-			})
+			}, a.workers())
 		}
 	}
 	return nil
@@ -526,7 +558,10 @@ func (a *Adaptor) writeImage(final *render.Framebuffer, step int) error {
 	}
 	var err error
 	a.reg().Time("libsim::png", step, func() {
-		_, err = render.WritePNG(w, final, render.PNGOptions{})
+		_, err = render.WritePNG(w, final, render.PNGOptions{
+			Parallel: a.Opts.ParallelPNG,
+			Workers:  a.workers(),
+		})
 	})
 	if err != nil {
 		return err

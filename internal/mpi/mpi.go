@@ -91,14 +91,41 @@ func (m *mailbox) take(src, tag, ctx int, timeout time.Duration) (message, error
 		if remain <= 0 {
 			return message{}, fmt.Errorf("mpi: recv timeout (possible deadlock) waiting for src=%d tag=%d ctx=%d", src, tag, ctx)
 		}
-		t := time.NewTimer(remain)
+		t := getTimer(remain)
 		select {
 		case <-w:
-			t.Stop()
+			putTimer(t)
 		case <-t.C:
+			timerPool.Put(t) // fired: C is drained, safe to recycle as-is
 			return message{}, fmt.Errorf("mpi: recv timeout (possible deadlock) waiting for src=%d tag=%d ctx=%d", src, tag, ctx)
 		}
 	}
+}
+
+// timerPool recycles deadlock-detection timers across blocking receives;
+// every blocked take would otherwise allocate a fresh timer, a measurable
+// per-message cost in tight compositing exchanges.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putTimer returns a timer that has NOT fired; it stops it and drains a
+// concurrent fire so the next Reset starts from a clean channel.
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
 }
 
 // World owns the shared state of one Run invocation.
@@ -198,6 +225,25 @@ func Send[T any](c *Comm, dest, tag int, data []T) {
 	cp := make([]T, len(data))
 	copy(cp, data)
 	c.send(dest, tag, cp)
+}
+
+// SendOwned transmits data to dest without copying, transferring ownership
+// of the slice to the receiver; the sender must not touch data after the
+// call. Because ranks share one address space, this is the zero-copy fast
+// path for pipelines that recycle message buffers through a process-wide
+// pool: the sender drains a buffer from the pool, SendOwned hands it to the
+// receiver, and the receiver returns it to the pool when done. Use Send when
+// the sender needs to keep its buffer.
+func SendOwned[T any](c *Comm, dest, tag int, data []T) {
+	c.send(dest, tag, data)
+}
+
+// SendRecvOwned is SendRecv with SendOwned's ownership transfer applied to
+// the outgoing buffer. The received slice is owned by the caller.
+func SendRecvOwned[T any](c *Comm, dest, sendTag int, data []T, src, recvTag int) ([]T, error) {
+	SendOwned(c, dest, sendTag, data)
+	got, _, err := Recv[T](c, src, recvTag)
+	return got, err
 }
 
 // Recv blocks until a message with matching source and tag arrives and

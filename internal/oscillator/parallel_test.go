@@ -1,0 +1,55 @@
+package oscillator
+
+import (
+	"testing"
+
+	"gosensei/internal/mpi"
+)
+
+// TestSimStepParallelBitIdentical pins the tentpole determinism contract for
+// the compute kernel: the k-slab-parallel Step must produce fields
+// bit-identical to the serial path at any worker count (same chunk
+// boundaries, same per-cell expression, hoisted constants evaluated with the
+// identical associativity).
+func TestSimStepParallelBitIdentical(t *testing.T) {
+	run := func(threads, steps int) []float64 {
+		cfg := Config{
+			GlobalCells: [3]int{14, 12, 10},
+			DT:          0.2,
+			Steps:       steps,
+			Oscillators: DefaultDeck(14),
+			Threads:     threads,
+		}
+		var data []float64
+		err := mpi.Run(1, func(c *mpi.Comm) error {
+			s, err := NewSim(c, cfg, nil)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < steps; i++ {
+				if err := s.Step(); err != nil {
+					return err
+				}
+			}
+			data = append([]float64(nil), s.Data...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	ref := run(1, 3)
+	for _, threads := range []int{2, 8} {
+		got := run(threads, 3)
+		if len(got) != len(ref) {
+			t.Fatalf("threads=%d: %d cells, want %d", threads, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("threads=%d: cell %d = %v, serial %v (not bit-identical)",
+					threads, i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -2,11 +2,13 @@ package oscillator
 
 import (
 	"fmt"
+	"math"
 
 	"gosensei/internal/array"
 	"gosensei/internal/grid"
 	"gosensei/internal/metrics"
 	"gosensei/internal/mpi"
+	"gosensei/internal/parallel"
 )
 
 // Config describes one miniapp run.
@@ -21,6 +23,9 @@ type Config struct {
 	Sync bool
 	// Oscillators is the (already broadcast) source list.
 	Oscillators []Oscillator
+	// Threads bounds the intra-rank workers for the cell loop; 0 derives a
+	// per-rank budget from the process thread budget and the world size.
+	Threads int
 }
 
 // Validate checks the configuration.
@@ -54,9 +59,15 @@ type Sim struct {
 	// Data holds the local cell values, k-major (i fastest).
 	Data []float64
 
-	step int
-	time float64
-	mem  *metrics.Tracker
+	step    int
+	time    float64
+	mem     *metrics.Tracker
+	workers int
+	// Per-step hoisted oscillator constants: the time factor depends only on
+	// t and the Gaussian denominator 2σ² only on the deck, yet the seed code
+	// recomputed both for every cell. amps is refreshed each Step; twoR2 once.
+	amps  []float64
+	twoR2 []float64
 }
 
 // NewSim builds the per-rank simulation state: the local block of a regular
@@ -94,6 +105,14 @@ func NewSim(c *mpi.Comm, cfg Config, mem *metrics.Tracker) (*Sim, error) {
 		LocalCellExtent:  local,
 		Data:             make([]float64, n),
 		mem:              mem,
+		workers:          parallel.Workers(cfg.Threads, c.Size()),
+		amps:             make([]float64, len(cfg.Oscillators)),
+		twoR2:            make([]float64, len(cfg.Oscillators)),
+	}
+	for i, o := range cfg.Oscillators {
+		// Same association as the seed's Evaluate ((2*R)*R) so the division
+		// below is bit-identical to the original per-cell expression.
+		s.twoR2[i] = 2 * o.Radius * o.Radius
 	}
 	mem.Alloc("oscillator/data", int64(n)*8)
 	return s, nil
@@ -116,25 +135,44 @@ func decomposeCells(global grid.Extent, n int) []grid.Extent {
 }
 
 // Step advances the simulation one time step: every local cell receives the
-// sum of all oscillator contributions evaluated at the cell center.
+// sum of all oscillator contributions evaluated at the cell center. The cell
+// loop is band-partitioned over k-slabs across the rank's worker budget;
+// each slab writes a disjoint range of Data and evaluates the identical
+// per-cell expression, so the result is bit-identical at any worker count.
 func (s *Sim) Step() error {
 	t := s.time
-	idx := 0
-	for k := s.LocalCellExtent[4]; k <= s.LocalCellExtent[5]; k++ {
-		z := float64(k) + 0.5
-		for j := s.LocalCellExtent[2]; j <= s.LocalCellExtent[3]; j++ {
-			y := float64(j) + 0.5
-			for i := s.LocalCellExtent[0]; i <= s.LocalCellExtent[1]; i++ {
-				x := float64(i) + 0.5
-				v := 0.0
-				for _, o := range s.Cfg.Oscillators {
-					v += o.Evaluate(x, y, z, t)
+	for i, o := range s.Cfg.Oscillators {
+		s.amps[i] = o.Amplitude(t)
+	}
+	e := s.LocalCellExtent
+	nx := e[1] - e[0] + 1
+	ny := e[3] - e[2] + 1
+	nz := e[5] - e[4] + 1
+	oscs := s.Cfg.Oscillators
+	parallel.For(s.workers, nz, 1, func(klo, khi int) {
+		for kk := klo; kk < khi; kk++ {
+			k := e[4] + kk
+			z := float64(k) + 0.5
+			idx := kk * nx * ny
+			for j := e[2]; j <= e[3]; j++ {
+				y := float64(j) + 0.5
+				for i := e[0]; i <= e[1]; i++ {
+					x := float64(i) + 0.5
+					v := 0.0
+					for oi := range oscs {
+						o := &oscs[oi]
+						dx := x - o.Center[0]
+						dy := y - o.Center[1]
+						dz := z - o.Center[2]
+						d2 := dx*dx + dy*dy + dz*dz
+						v += s.amps[oi] * math.Exp(-d2/s.twoR2[oi])
+					}
+					s.Data[idx] = v
+					idx++
 				}
-				s.Data[idx] = v
-				idx++
 			}
 		}
-	}
+	})
 	s.step++
 	s.time += s.Cfg.DT
 	if s.Cfg.Sync {

@@ -1,0 +1,175 @@
+// Package parallel provides deterministic intra-rank parallelism for the
+// hot paths of this reproduction: a chunked parallel-for and an ordered
+// chunk-map, both driven by a process-wide thread budget.
+//
+// Two constraints shape the design:
+//
+//   - Ranks are goroutines (package mpi), so a naive "one worker per CPU in
+//     every rank" would oversubscribe the host by a factor of the world
+//     size. Budget divides the process-wide thread budget by the rank count
+//     so ranks × workers stays bounded.
+//   - Results must be bit-identical to the serial path at any worker count.
+//     Chunk boundaries depend only on the problem size and the caller's
+//     grain — never on the worker count — and MapChunks returns results in
+//     chunk order, so concatenating them reproduces the serial iteration
+//     order exactly.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// threads is the process-wide budget; 0 means "use the default" (the
+// GOSENSEI_THREADS environment variable, else GOMAXPROCS).
+var threads atomic.Int64
+
+var envThreads = sync.OnceValue(func() int {
+	if s := os.Getenv("GOSENSEI_THREADS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+})
+
+// Threads returns the process-wide thread budget: the last SetThreads value,
+// else GOSENSEI_THREADS, else GOMAXPROCS.
+func Threads() int {
+	if v := threads.Load(); v > 0 {
+		return int(v)
+	}
+	if n := envThreads(); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetThreads fixes the process-wide thread budget; n <= 0 restores the
+// default resolution order.
+func SetThreads(n int) {
+	if n < 0 {
+		n = 0
+	}
+	threads.Store(int64(n))
+}
+
+// Budget returns the per-rank worker count when the process runs `ranks`
+// goroutine-ranks: at least 1, at most Threads()/ranks. This is the bound
+// that keeps ranks × workers within the process budget under mpi.Run.
+func Budget(ranks int) int {
+	if ranks < 1 {
+		ranks = 1
+	}
+	b := Threads() / ranks
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Workers resolves a caller-supplied worker count: a positive request wins,
+// otherwise the per-rank budget for the given rank count.
+func Workers(requested, ranks int) int {
+	if requested > 0 {
+		return requested
+	}
+	return Budget(ranks)
+}
+
+// For runs body over [0, n) split into chunks of at most grain indices.
+// Chunks are claimed dynamically by up to `workers` goroutines, but chunk
+// boundaries depend only on n and grain, so callers whose chunks write
+// disjoint outputs (or that use MapChunks for ordered collection) get
+// bit-identical results at any worker count. workers <= 1 runs inline with
+// no goroutines. A panic in body propagates to the caller.
+func For(workers, n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	run := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go run()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// MapChunks runs fn once per chunk of [0, n) and returns the results in
+// chunk order. Because chunk boundaries depend only on n and grain,
+// concatenating the results reproduces the serial iteration order exactly —
+// the property the slab-parallel mesh extractions rely on.
+func MapChunks[T any](workers, n, grain int, fn func(chunk, lo, hi int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	out := make([]T, chunks)
+	For(workers, chunks, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			out[c] = fn(c, lo, hi)
+		}
+	})
+	return out
+}

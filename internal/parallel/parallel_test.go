@@ -1,0 +1,114 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			for _, grain := range []int{1, 3, 16, 2000} {
+				hits := make([]int32, n)
+				For(workers, n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times", workers, n, grain, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkBoundariesIndependentOfWorkers(t *testing.T) {
+	collect := func(workers int) map[int]int {
+		bounds := make(chan [2]int, 64)
+		For(workers, 100, 7, func(lo, hi int) { bounds <- [2]int{lo, hi} })
+		close(bounds)
+		m := make(map[int]int)
+		for b := range bounds {
+			m[b[0]] = b[1]
+		}
+		return m
+	}
+	ref := collect(1)
+	for _, w := range []int{2, 8} {
+		got := collect(w)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d chunks, want %d", w, len(got), len(ref))
+		}
+		for lo, hi := range ref {
+			if got[lo] != hi {
+				t.Fatalf("workers=%d: chunk at %d ends %d, want %d", w, lo, got[lo], hi)
+			}
+		}
+	}
+}
+
+func TestMapChunksOrdered(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		got := MapChunks(workers, 50, 7, func(chunk, lo, hi int) [3]int {
+			return [3]int{chunk, lo, hi}
+		})
+		if len(got) != 8 {
+			t.Fatalf("chunks=%d, want 8", len(got))
+		}
+		for c, g := range got {
+			wantLo := c * 7
+			wantHi := wantLo + 7
+			if wantHi > 50 {
+				wantHi = 50
+			}
+			if g != [3]int{c, wantLo, wantHi} {
+				t.Fatalf("workers=%d chunk %d = %v", workers, c, g)
+			}
+		}
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	For(4, 100, 1, func(lo, hi int) {
+		if lo == 50 {
+			panic("boom")
+		}
+	})
+}
+
+func TestBudget(t *testing.T) {
+	old := Threads()
+	SetThreads(8)
+	defer SetThreads(0)
+	if got := Budget(1); got != 8 {
+		t.Fatalf("Budget(1)=%d, want 8", got)
+	}
+	if got := Budget(4); got != 2 {
+		t.Fatalf("Budget(4)=%d, want 2", got)
+	}
+	if got := Budget(100); got != 1 {
+		t.Fatalf("Budget(100)=%d, want 1", got)
+	}
+	if got := Workers(3, 4); got != 3 {
+		t.Fatalf("Workers(3,4)=%d, want 3", got)
+	}
+	if got := Workers(0, 4); got != 2 {
+		t.Fatalf("Workers(0,4)=%d, want 2", got)
+	}
+	SetThreads(0)
+	if Threads() <= 0 {
+		t.Fatalf("default Threads()=%d", Threads())
+	}
+	_ = old
+}

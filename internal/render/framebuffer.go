@@ -20,6 +20,7 @@ import (
 	"image"
 	"image/color"
 	"math"
+	"sync"
 )
 
 // Framebuffer is an RGBA image with a depth buffer. Depth follows the
@@ -38,6 +39,44 @@ func NewFramebuffer(w, h int) *Framebuffer {
 	fb := &Framebuffer{W: w, H: h, Color: make([]uint8, w*h*4), Depth: make([]float32, w*h)}
 	fb.Clear(color.RGBA{})
 	return fb
+}
+
+// fbPool recycles framebuffers across per-step pipeline invocations. An
+// image-sized color+depth pair is the single largest transient allocation of
+// a render step (the paper's image-size-proportional memory cost), so the
+// catalyst and libsim adaptors acquire and release instead of allocating.
+var fbPool sync.Pool // *Framebuffer
+
+// AcquireFramebuffer returns a cleared framebuffer of the given size, reusing
+// pooled storage when a previously released buffer is large enough. It is
+// interchangeable with NewFramebuffer; pair it with Release.
+func AcquireFramebuffer(w, h int) *Framebuffer {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("render: invalid framebuffer size %dx%d", w, h))
+	}
+	v := fbPool.Get()
+	if v == nil {
+		return NewFramebuffer(w, h)
+	}
+	fb := v.(*Framebuffer)
+	n := w * h
+	if cap(fb.Color) < n*4 || cap(fb.Depth) < n {
+		return NewFramebuffer(w, h)
+	}
+	fb.W, fb.H = w, h
+	fb.Color = fb.Color[:n*4]
+	fb.Depth = fb.Depth[:n]
+	fb.Clear(color.RGBA{})
+	return fb
+}
+
+// Release returns the framebuffer's storage to the pool. The caller must not
+// touch fb afterwards.
+func (fb *Framebuffer) Release() {
+	if fb == nil {
+		return
+	}
+	fbPool.Put(fb)
 }
 
 // Clear resets every pixel to bg at infinite depth.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gosensei/internal/grid"
+	"gosensei/internal/parallel"
 )
 
 // tets6 is the canonical 6-tetrahedra decomposition of a hexahedral cell;
@@ -24,6 +25,19 @@ var tets6 = [6][4]int{
 // array's interpolated value when colorBy is non-empty (otherwise the iso
 // scalar itself).
 func Isosurface(img *grid.ImageData, name string, iso float64, colorBy string) (*TriMesh, error) {
+	return IsosurfaceWorkers(img, name, iso, colorBy, 1)
+}
+
+// isoSlabGrain is the k-slab chunk size of the parallel isosurface; fixed so
+// chunk boundaries never depend on the worker count.
+const isoSlabGrain = 4
+
+// IsosurfaceWorkers is Isosurface with an explicit intra-rank worker count:
+// the k-slab loop is chunk-partitioned, each chunk extracts into its own
+// TriMesh, and the chunks are merged in k order — reproducing the serial
+// triangle order (and therefore the rendered image) exactly at any worker
+// count.
+func IsosurfaceWorkers(img *grid.ImageData, name string, iso float64, colorBy string, workers int) (*TriMesh, error) {
 	a := img.Attributes(grid.PointData).Get(name)
 	if a == nil {
 		return nil, fmt.Errorf("render: isosurface: mesh has no point array %q", name)
@@ -39,29 +53,36 @@ func Isosurface(img *grid.ImageData, name string, iso float64, colorBy string) (
 	if nx < 2 || ny < 2 || nz < 2 {
 		return &TriMesh{}, nil
 	}
-	out := &TriMesh{}
-	var (
-		pos [8]Vec3
-		val [8]float64
-		col [8]float64
-	)
-	for k := 0; k < nz-1; k++ {
-		for j := 0; j < ny-1; j++ {
-			for i := 0; i < nx-1; i++ {
-				for c := 0; c < 8; c++ {
-					di, dj, dk := c&1, (c>>1)&1, (c>>2)&1
-					gi, gj, gk := i+di+img.Extent[0], j+dj+img.Extent[2], k+dk+img.Extent[4]
-					x, y, z := img.PointPosition(gi, gj, gk)
-					pos[c] = Vec3{x, y, z}
-					idx := (k+dk)*nx*ny + (j+dj)*nx + (i + di)
-					val[c] = a.Value(idx, 0)
-					col[c] = cb.Value(idx, 0)
-				}
-				for _, tet := range tets6 {
-					marchTet(out, tet, &pos, &val, &col, iso)
+	parts := parallel.MapChunks(workers, nz-1, isoSlabGrain, func(_, klo, khi int) *TriMesh {
+		part := &TriMesh{}
+		var (
+			pos [8]Vec3
+			val [8]float64
+			col [8]float64
+		)
+		for k := klo; k < khi; k++ {
+			for j := 0; j < ny-1; j++ {
+				for i := 0; i < nx-1; i++ {
+					for c := 0; c < 8; c++ {
+						di, dj, dk := c&1, (c>>1)&1, (c>>2)&1
+						gi, gj, gk := i+di+img.Extent[0], j+dj+img.Extent[2], k+dk+img.Extent[4]
+						x, y, z := img.PointPosition(gi, gj, gk)
+						pos[c] = Vec3{x, y, z}
+						idx := (k+dk)*nx*ny + (j+dj)*nx + (i + di)
+						val[c] = a.Value(idx, 0)
+						col[c] = cb.Value(idx, 0)
+					}
+					for _, tet := range tets6 {
+						marchTet(part, tet, &pos, &val, &col, iso)
+					}
 				}
 			}
 		}
+		return part
+	})
+	out := &TriMesh{}
+	for _, part := range parts {
+		out.Merge(part)
 	}
 	return out, nil
 }

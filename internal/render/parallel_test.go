@@ -1,0 +1,325 @@
+package render
+
+import (
+	"bytes"
+	"image/color"
+	"image/png"
+	"testing"
+
+	"gosensei/internal/array"
+	"gosensei/internal/colormap"
+	"gosensei/internal/grid"
+)
+
+// The tests in this file pin the tentpole determinism contract: every
+// parallelized render stage must produce output bit-identical to the serial
+// path at any worker count.
+
+var workerCounts = []int{1, 2, 8}
+
+// gradientGrid builds an n³-cell grid whose cell scalar varies with all
+// three indices, so slices and volume renders have structure on every axis.
+func gradientGrid(n int) *grid.ImageData {
+	img := grid.NewImageData(grid.NewExtent3D(n+1, n+1, n+1))
+	vals := make([]float64, n*n*n)
+	idx := 0
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				vals[idx] = float64(i) + 0.5*float64(j) + 0.25*float64(k)
+				idx++
+			}
+		}
+	}
+	img.Attributes(grid.CellData).Add(array.WrapAOS("data", 1, vals))
+	return img
+}
+
+func framebuffersEqual(a, b *Framebuffer) bool {
+	if a.W != b.W || a.H != b.H || !bytes.Equal(a.Color, b.Color) {
+		return false
+	}
+	for i := range a.Depth {
+		if a.Depth[i] != b.Depth[i] {
+			// NaN never occurs; exact float32 comparison is intended.
+			return false
+		}
+	}
+	return true
+}
+
+func TestIsosurfaceWorkersBitIdentical(t *testing.T) {
+	img := sphereGrid(21, Vec3{10, 10, 10})
+	ref, err := Isosurface(img, "dist", 6, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		got, err := IsosurfaceWorkers(img, "dist", 6, "", w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.V) != len(ref.V) {
+			t.Fatalf("workers=%d: %d vertices, want %d", w, len(got.V), len(ref.V))
+		}
+		for i := range ref.V {
+			if got.V[i] != ref.V[i] || got.S[i] != ref.S[i] {
+				t.Fatalf("workers=%d: vertex %d differs: %v/%v vs %v/%v",
+					w, i, got.V[i], got.S[i], ref.V[i], ref.S[i])
+			}
+		}
+	}
+}
+
+func TestRenderMeshWorkersBitIdentical(t *testing.T) {
+	img := sphereGrid(21, Vec3{10, 10, 10})
+	mesh, err := Isosurface(img, "dist", 6, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := [6]float64{0, 20, 0, 20, 0, 20}
+	cam := DefaultCamera(bounds)
+	cm := colormap.CoolWarm()
+	shade := func(s float64) color.RGBA { return cm.Pseudocolor(s, 0, 10) }
+	ref := NewFramebuffer(101, 67) // odd sizes exercise ragged stripes
+	RenderMesh(ref, cam, mesh, shade)
+	if ref.NonBackgroundPixels() == 0 {
+		t.Fatal("reference render is empty")
+	}
+	for _, w := range workerCounts {
+		fb := NewFramebuffer(101, 67)
+		RenderMeshWorkers(fb, cam, mesh, shade, w)
+		if !framebuffersEqual(fb, ref) {
+			t.Fatalf("workers=%d: raster differs from serial", w)
+		}
+	}
+}
+
+func TestResampleImageSliceWorkersBitIdentical(t *testing.T) {
+	n := 8
+	img := gradientGrid(n)
+	mkSpec := func(workers int) *SliceSpec {
+		return &SliceSpec{
+			Plane:        AxisPlane(2, 4.0),
+			ArrayName:    "data",
+			Assoc:        grid.CellData,
+			Lo:           0,
+			Hi:           float64(n),
+			Map:          colormap.Gray(),
+			DomainBounds: [6]float64{0, float64(n), 0, float64(n), 0, float64(n)},
+			Workers:      workers,
+		}
+	}
+	ref := NewFramebuffer(61, 43)
+	if err := ResampleImageSlice(ref, img, mkSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		fb := NewFramebuffer(61, 43)
+		if err := ResampleImageSlice(fb, img, mkSpec(w)); err != nil {
+			t.Fatal(err)
+		}
+		if !framebuffersEqual(fb, ref) {
+			t.Fatalf("workers=%d: slice differs from serial", w)
+		}
+	}
+}
+
+func TestSliceUnstructuredWorkersBitIdentical(t *testing.T) {
+	// Enough tets to span several sliceCellGrain chunks would need a large
+	// mesh; the determinism argument is order-preserving chunk merge, which a
+	// small grain would also exercise — but the grain is fixed by design, so
+	// this test simply pins serial-vs-parallel equality on a modest mesh.
+	var coords []float64
+	var conn []int64
+	for i := 0; i < 30; i++ {
+		o := Vec3{float64(i % 5), float64((i / 5) % 3), float64(i / 15)}
+		base := int64(len(coords) / 3)
+		for _, p := range []Vec3{o, o.Add(Vec3{1, 0, 0}), o.Add(Vec3{0, 1, 0}), o.Add(Vec3{0, 0, 1})} {
+			coords = append(coords, p[0], p[1], p[2])
+		}
+		conn = append(conn, base, base+1, base+2, base+3)
+	}
+	g := grid.NewUnstructuredGrid(array.WrapAOS("points", 3, coords), grid.CellTetrahedron, conn)
+	vals := make([]float64, len(coords)/3)
+	for i := range vals {
+		vals[i] = float64(i % 7)
+	}
+	g.Attributes(grid.PointData).Add(array.WrapAOS("data", 1, vals))
+	mkSpec := func(workers int) *SliceSpec {
+		return &SliceSpec{
+			Plane:     AxisPlane(2, 0.4),
+			ArrayName: "data",
+			Assoc:     grid.PointData,
+			Workers:   workers,
+		}
+	}
+	ref, err := SliceUnstructured(g, mkSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Triangles() == 0 {
+		t.Fatal("reference slice is empty")
+	}
+	for _, w := range workerCounts {
+		got, err := SliceUnstructured(g, mkSpec(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.V) != len(ref.V) {
+			t.Fatalf("workers=%d: %d vertices, want %d", w, len(got.V), len(ref.V))
+		}
+		for i := range ref.V {
+			if got.V[i] != ref.V[i] || got.S[i] != ref.S[i] {
+				t.Fatalf("workers=%d: triangle order or values differ at vertex %d", w, i)
+			}
+		}
+	}
+}
+
+func TestRayMarchWorkersBitIdentical(t *testing.T) {
+	n := 8
+	img := gradientGrid(n)
+	mkSpec := func(workers int) *VolumeSpec {
+		return &VolumeSpec{
+			ArrayName:    "data",
+			Axis:         2,
+			Lo:           0,
+			Hi:           float64(n),
+			Map:          colormap.CoolWarm(),
+			OpacityScale: 2,
+			DomainBounds: [6]float64{0, float64(n), 0, float64(n), 0, float64(n)},
+			Workers:      workers,
+		}
+	}
+	ref, _, err := RayMarchLocalSized(img, mkSpec(1), 53, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.MeanAlpha() == 0 {
+		t.Fatal("reference volume render is empty")
+	}
+	for _, w := range workerCounts {
+		got, _, err := RayMarchLocalSized(img, mkSpec(w), 53, 47)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Pix {
+			if got.Pix[i] != ref.Pix[i] {
+				t.Fatalf("workers=%d: pixel float %d differs", w, i)
+			}
+		}
+	}
+}
+
+// testScene renders an isosurface into an oddly-sized framebuffer and fills
+// the background so every pixel is opaque, as composited frames are when
+// they reach the PNG encoder.
+func testScene(t *testing.T, w, h int) *Framebuffer {
+	t.Helper()
+	img := sphereGrid(21, Vec3{10, 10, 10})
+	mesh, err := Isosurface(img, "dist", 6, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := DefaultCamera([6]float64{0, 20, 0, 20, 0, 20})
+	cm := colormap.Viridis()
+	fb := NewFramebuffer(w, h)
+	RenderMesh(fb, cam, mesh, func(s float64) color.RGBA { return cm.Pseudocolor(s, 0, 10) })
+	fb.FillBackground(color.RGBA{R: 18, G: 18, B: 24, A: 255})
+	return fb
+}
+
+func TestParallelPNGByteIdenticalAcrossWorkers(t *testing.T) {
+	fb := testScene(t, 201, 149) // not a multiple of the 64-row stripe
+	var ref bytes.Buffer
+	if _, err := WritePNG(&ref, fb, PNGOptions{Parallel: true, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts[1:] {
+		var got bytes.Buffer
+		if _, err := WritePNG(&got, fb, PNGOptions{Parallel: true, Workers: w}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), ref.Bytes()) {
+			t.Fatalf("workers=%d: PNG bytes differ from workers=1", w)
+		}
+	}
+}
+
+func TestParallelPNGDecodesPixelIdentical(t *testing.T) {
+	for _, level := range []png.CompressionLevel{png.DefaultCompression, png.NoCompression, png.BestSpeed, png.BestCompression} {
+		fb := testScene(t, 130, 70)
+		var buf bytes.Buffer
+		if _, err := WritePNG(&buf, fb, PNGOptions{Parallel: true, Workers: 4, Compression: level}); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := png.Decode(&buf)
+		if err != nil {
+			t.Fatalf("level %d: parallel PNG does not decode: %v", level, err)
+		}
+		for y := 0; y < fb.H; y++ {
+			for x := 0; x < fb.W; x++ {
+				want := fb.At(x, y)
+				r, g, b, a := decoded.At(x, y).RGBA()
+				got := color.RGBA{uint8(r >> 8), uint8(g >> 8), uint8(b >> 8), uint8(a >> 8)}
+				if got != want {
+					t.Fatalf("level %d: pixel (%d,%d) = %v, want %v", level, x, y, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelPNGMatchesSerialDecode(t *testing.T) {
+	fb := testScene(t, 96, 64)
+	var serial, par bytes.Buffer
+	if _, err := WritePNG(&serial, fb, PNGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WritePNG(&par, fb, PNGOptions{Parallel: true}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := png.Decode(&serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := png.Decode(&par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < fb.H; y++ {
+		for x := 0; x < fb.W; x++ {
+			ar, ag, ab, aa := a.At(x, y).RGBA()
+			br, bg, bb, ba := b.At(x, y).RGBA()
+			if ar != br || ag != bg || ab != bb || aa != ba {
+				t.Fatalf("pixel (%d,%d) differs between serial and parallel encodings", x, y)
+			}
+		}
+	}
+}
+
+func TestAcquireFramebufferReuseIsCleared(t *testing.T) {
+	fb := AcquireFramebuffer(16, 16)
+	fb.Set(3, 3, color.RGBA{R: 200, A: 255}, 1)
+	fb.Release()
+	fb2 := AcquireFramebuffer(16, 16)
+	if fb2.NonBackgroundPixels() != 0 {
+		t.Fatal("pooled framebuffer not cleared on acquire")
+	}
+	if fb2.At(3, 3).R != 0 {
+		t.Fatal("stale color visible after acquire")
+	}
+	fb2.Release()
+	// A larger request after releasing a smaller buffer must still work.
+	big := AcquireFramebuffer(64, 64)
+	if big.W != 64 || big.H != 64 || len(big.Color) != 64*64*4 {
+		t.Fatal("pool returned wrong-size framebuffer")
+	}
+	big.Release()
+	small := AcquireFramebuffer(4, 4)
+	if small.W != 4 || len(small.Color) != 4*4*4 || len(small.Depth) != 16 {
+		t.Fatal("reslice to smaller size failed")
+	}
+	small.Release()
+}

@@ -27,15 +27,28 @@ type PNGOptions struct {
 	// default. Use png.NoCompression to reproduce the paper's
 	// "skip the compression portion" ablation.
 	Compression png.CompressionLevel
+	// Parallel selects the stripe-parallel encoder (filter + deflate per
+	// 64-row stripe, stitched into one deterministic zlib stream). Off by
+	// default: the serial image/png path is the modeled paper behavior.
+	Parallel bool
+	// Workers bounds the encoder parallelism when Parallel is set; 0 means
+	// the process thread budget. The emitted bytes are identical at any
+	// worker count.
+	Workers int
 }
 
 // WritePNG serializes the framebuffer and returns the encode duration,
 // which callers log separately from rendering (it is the serial rank-0
 // bottleneck the paper diagnoses).
 func WritePNG(w io.Writer, fb *Framebuffer, opts PNGOptions) (time.Duration, error) {
+	start := time.Now()
+	if opts.Parallel {
+		err := writePNGParallel(w, fb, opts)
+		return time.Since(start), err
+	}
 	enc := png.Encoder{CompressionLevel: opts.Compression}
 	img := fb.Image()
-	start := time.Now()
+	start = time.Now()
 	err := enc.Encode(w, img)
 	return time.Since(start), err
 }

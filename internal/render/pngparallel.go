@@ -1,0 +1,361 @@
+package render
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/adler32"
+	"hash/crc32"
+	"image/png"
+	"io"
+	"sync"
+
+	"gosensei/internal/parallel"
+)
+
+// The parallel PNG encoder attacks the paper's Table 2 pathology — the
+// serial zlib compression of the rank-0 PNG dominating per-step in situ time
+// — without giving up a byte-deterministic output. The image is cut into
+// fixed-height stripes (pngStripeRows, independent of the worker count);
+// each worker filters its stripe's scanlines and deflates them into an
+// independent fragment terminated by a sync flush (an empty stored block on
+// a byte boundary, never marked final). The fragments are stitched in stripe
+// order into one zlib stream: header, fragments, a final empty stored
+// block, and the Adler-32 of the filtered bytes. Because stripe boundaries,
+// filter choice, and deflate input are all worker-count-independent, the
+// encoder emits byte-identical files at any parallelism level.
+//
+// The serial image/png path in WritePNG remains the modeled "paper
+// behavior" baseline; this encoder is opt-in via PNGOptions.Parallel.
+
+// pngStripeRows is the stripe height in scanlines. Fixed — never derived
+// from the worker count — so the emitted bytes are deterministic.
+const pngStripeRows = 64
+
+var pngSignature = []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'}
+
+// deflateEnd is a final empty stored block: BFINAL=1, BTYPE=00, pad to byte
+// boundary, LEN=0, NLEN=^0. Appended after the last stripe fragment (which
+// Flush left byte-aligned) to terminate the stitched deflate stream.
+var deflateEnd = []byte{0x01, 0x00, 0x00, 0xff, 0xff}
+
+// flateLevel maps image/png compression levels onto compress/flate levels,
+// matching the mapping inside the standard library's encoder.
+func flateLevel(l png.CompressionLevel) int {
+	switch l {
+	case png.NoCompression:
+		return flate.NoCompression
+	case png.BestSpeed:
+		return flate.BestSpeed
+	case png.BestCompression:
+		return flate.BestCompression
+	}
+	return flate.DefaultCompression
+}
+
+// pngStripe is one encoded stripe: the raw filtered scanline bytes (input
+// to the Adler-32 running over the whole stream) and the deflate fragment.
+type pngStripe struct {
+	filt *bytes.Buffer
+	comp *bytes.Buffer
+}
+
+var pngBufPool sync.Pool // *bytes.Buffer
+
+func getPNGBuf() *bytes.Buffer {
+	if v := pngBufPool.Get(); v != nil {
+		b := v.(*bytes.Buffer)
+		b.Reset()
+		return b
+	}
+	return &bytes.Buffer{}
+}
+
+func putPNGBuf(b *bytes.Buffer) { pngBufPool.Put(b) }
+
+// flateWriterPool recycles flate writers per compression level (Reset is
+// much cheaper than rebuilding the ~64 KB of encoder state).
+var flateWriterPools [12]sync.Pool // index = level + 2 (levels -2..9)
+
+func getFlateWriter(w io.Writer, level int) *flate.Writer {
+	idx := level + 2
+	if v := flateWriterPools[idx].Get(); v != nil {
+		fw := v.(*flate.Writer)
+		fw.Reset(w)
+		return fw
+	}
+	fw, err := flate.NewWriter(w, level)
+	if err != nil {
+		// Levels are produced by flateLevel and always valid.
+		panic(fmt.Sprintf("render: flate level %d: %v", level, err))
+	}
+	return fw
+}
+
+func putFlateWriter(fw *flate.Writer, level int) { flateWriterPools[level+2].Put(fw) }
+
+// writePNGParallel encodes fb as an RGBA (color type 6, 8-bit) PNG using
+// stripe-parallel filtering and deflate. Pixel bytes are converted to the
+// non-premultiplied form PNG requires, exactly as image/png does for
+// *image.RGBA input (an identity when alpha is 255, the universal case for
+// composited frames after FillBackground).
+func writePNGParallel(w io.Writer, fb *Framebuffer, opts PNGOptions) error {
+	workers := parallel.Workers(opts.Workers, 1)
+	level := flateLevel(opts.Compression)
+	stripes := parallel.MapChunks(workers, fb.H, pngStripeRows, func(chunk, yLo, yHi int) pngStripe {
+		return encodeStripe(fb, chunk == 0, yLo, yHi, level)
+	})
+
+	if _, err := w.Write(pngSignature); err != nil {
+		return err
+	}
+	var ihdr [13]byte
+	binary.BigEndian.PutUint32(ihdr[0:4], uint32(fb.W))
+	binary.BigEndian.PutUint32(ihdr[4:8], uint32(fb.H))
+	ihdr[8] = 8 // bit depth
+	ihdr[9] = 6 // color type RGBA
+	if err := writePNGChunk(w, "IHDR", ihdr[:]); err != nil {
+		return err
+	}
+	// Stitch by streaming each stripe fragment as its own IDAT chunk (PNG
+	// decoders concatenate IDAT payloads into one zlib stream), so the full
+	// image is never staged in a single buffer. The first fragment carries
+	// the zlib header; a final chunk carries the terminating stored block
+	// and the Adler-32 of the filtered stream.
+	ad := adler32.New()
+	for _, s := range stripes {
+		ad.Write(s.filt.Bytes())
+		err := writePNGChunk(w, "IDAT", s.comp.Bytes())
+		putPNGBuf(s.filt)
+		putPNGBuf(s.comp)
+		if err != nil {
+			return err
+		}
+	}
+	tail := getPNGBuf()
+	defer putPNGBuf(tail)
+	tail.Write(deflateEnd)
+	var adsum [4]byte
+	binary.BigEndian.PutUint32(adsum[:], ad.Sum32())
+	tail.Write(adsum[:])
+	if err := writePNGChunk(w, "IDAT", tail.Bytes()); err != nil {
+		return err
+	}
+	return writePNGChunk(w, "IEND", nil)
+}
+
+// encodeStripe filters and deflates rows [yLo, yHi). The first stripe
+// opens the zlib stream with its two-byte header.
+func encodeStripe(fb *Framebuffer, first bool, yLo, yHi, level int) pngStripe {
+	const bpp = 4
+	stride := fb.W * bpp
+	filt := getPNGBuf()
+	filt.Grow((yHi - yLo) * (1 + stride))
+	cur := make([]byte, stride)
+	prev := make([]byte, stride)
+	var cand [5][]byte
+	for f := range cand {
+		cand[f] = make([]byte, 1+stride)
+		cand[f][0] = byte(f)
+	}
+	// At NoCompression the stored deflate blocks preserve the filtered bytes
+	// verbatim, so filtering buys nothing; emit filter None like image/png.
+	noFilter := level == flate.NoCompression
+	if yLo > 0 {
+		rawScanline(prev, fb, yLo-1)
+	}
+	for y := yLo; y < yHi; y++ {
+		rawScanline(cur, fb, y)
+		if noFilter {
+			filt.WriteByte(0)
+			filt.Write(cur)
+		} else {
+			filt.Write(filterScanline(&cand, cur, prev, bpp, y == 0))
+		}
+		cur, prev = prev, cur
+	}
+	comp := getPNGBuf()
+	if first {
+		comp.Write([]byte{0x78, 0x9c})
+	}
+	fw := getFlateWriter(comp, level)
+	fw.Write(filt.Bytes())
+	// Flush ends the fragment with a byte-aligned sync marker and no final
+	// bit, which is what makes the fragments concatenable.
+	fw.Flush()
+	putFlateWriter(fw, level)
+	return pngStripe{filt: filt, comp: comp}
+}
+
+// rawScanline writes row y's non-premultiplied RGBA bytes into dst.
+func rawScanline(dst []byte, fb *Framebuffer, y int) {
+	row := fb.Color[y*fb.W*4 : (y+1)*fb.W*4]
+	for i := 0; i < len(row); i += 4 {
+		a := row[i+3]
+		if a == 0xff {
+			dst[i+0] = row[i+0]
+			dst[i+1] = row[i+1]
+			dst[i+2] = row[i+2]
+			dst[i+3] = a
+			continue
+		}
+		if a == 0 {
+			dst[i+0], dst[i+1], dst[i+2], dst[i+3] = 0, 0, 0, 0
+			continue
+		}
+		// Un-premultiply as the standard library does for *image.RGBA.
+		dst[i+0] = uint8((uint32(row[i+0]) * 0xff) / uint32(a))
+		dst[i+1] = uint8((uint32(row[i+1]) * 0xff) / uint32(a))
+		dst[i+2] = uint8((uint32(row[i+2]) * 0xff) / uint32(a))
+		dst[i+3] = a
+	}
+}
+
+// abs8 is the magnitude of a byte interpreted as int8 (the quantity the PNG
+// filter heuristic minimizes).
+func abs8(d uint8) int {
+	if d < 128 {
+		return int(d)
+	}
+	return 256 - int(d)
+}
+
+// filterScanline picks the PNG filter minimizing the sum of absolute
+// signed-byte values (the standard heuristic; ties resolve to the lowest
+// filter index) and returns the winning candidate row — tag byte followed by
+// filtered bytes. cand holds five persistent scratch rows, one per filter;
+// each filter fuses scoring into its fill loop and abandons as soon as its
+// running sum can no longer win, which is what makes the heuristic cheap.
+// firstRow treats the prior scanline as zero, per the spec.
+func filterScanline(cand *[5][]byte, cur, prev []byte, bpp int, firstRow bool) []byte {
+	n := len(cur)
+	if firstRow {
+		for i := range prev {
+			prev[i] = 0
+		}
+	}
+	// Filter 0 (None) is the baseline every other filter must beat.
+	c := cand[0][1 : 1+n]
+	best := 0
+	copy(c, cur)
+	for i := 0; i < n; i++ {
+		best += abs8(c[i])
+	}
+	bestIdx := 0
+
+	// Sub.
+	c = cand[1][1 : 1+n]
+	sum := 0
+	for i := 0; i < bpp; i++ {
+		c[i] = cur[i]
+		sum += abs8(c[i])
+	}
+	for i := bpp; i < n; i++ {
+		c[i] = cur[i] - cur[i-bpp]
+		sum += abs8(c[i])
+		if sum >= best {
+			break
+		}
+	}
+	if sum < best {
+		best, bestIdx = sum, 1
+	}
+
+	// Up.
+	c = cand[2][1 : 1+n]
+	sum = 0
+	for i := 0; i < n; i++ {
+		c[i] = cur[i] - prev[i]
+		sum += abs8(c[i])
+		if sum >= best {
+			break
+		}
+	}
+	if sum < best {
+		best, bestIdx = sum, 2
+	}
+
+	// Average.
+	c = cand[3][1 : 1+n]
+	sum = 0
+	for i := 0; i < bpp; i++ {
+		c[i] = cur[i] - prev[i]/2
+		sum += abs8(c[i])
+	}
+	for i := bpp; i < n; i++ {
+		c[i] = cur[i] - uint8((int(cur[i-bpp])+int(prev[i]))/2)
+		sum += abs8(c[i])
+		if sum >= best {
+			break
+		}
+	}
+	if sum < best {
+		best, bestIdx = sum, 3
+	}
+
+	// Paeth.
+	c = cand[4][1 : 1+n]
+	sum = 0
+	for i := 0; i < bpp; i++ {
+		c[i] = cur[i] - paeth(0, prev[i], 0)
+		sum += abs8(c[i])
+	}
+	for i := bpp; i < n; i++ {
+		c[i] = cur[i] - paeth(cur[i-bpp], prev[i], prev[i-bpp])
+		sum += abs8(c[i])
+		if sum >= best {
+			break
+		}
+	}
+	if sum < best {
+		bestIdx = 4
+	}
+
+	return cand[bestIdx][:1+n]
+}
+
+// paeth is the PNG Paeth predictor.
+func paeth(a, b, c uint8) uint8 {
+	pa := int(b) - int(c)
+	pb := int(a) - int(c)
+	pc := pa + pb
+	if pa < 0 {
+		pa = -pa
+	}
+	if pb < 0 {
+		pb = -pb
+	}
+	if pc < 0 {
+		pc = -pc
+	}
+	if pa <= pb && pa <= pc {
+		return a
+	}
+	if pb <= pc {
+		return b
+	}
+	return c
+}
+
+// writePNGChunk emits one length/type/data/CRC chunk.
+func writePNGChunk(w io.Writer, typ string, data []byte) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(data)))
+	copy(hdr[4:8], typ)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:8])
+	crc.Write(data)
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc.Sum32())
+	_, err := w.Write(sum[:])
+	return err
+}

@@ -3,6 +3,8 @@ package render
 import (
 	"image/color"
 	"math"
+
+	"gosensei/internal/parallel"
 )
 
 // Vertex is a rasterizer input: a pixel-space position, a depth, and a
@@ -19,6 +21,15 @@ type Shader func(scalar float64) color.RGBA
 // RasterizeTriangle fills a triangle with perspective-less barycentric
 // interpolation of depth and scalar, honoring the framebuffer's depth test.
 func RasterizeTriangle(fb *Framebuffer, v0, v1, v2 Vertex, shade Shader) {
+	rasterizeTriangleRows(fb, v0, v1, v2, shade, 0, fb.H)
+}
+
+// rasterizeTriangleRows is RasterizeTriangle restricted to pixel rows
+// [yLo, yHi). Workers that own disjoint row stripes can therefore rasterize
+// the same triangle list concurrently with race-free z-buffer writes, and —
+// because every pixel sees the triangles in the same order as the serial
+// path — bit-identical output.
+func rasterizeTriangleRows(fb *Framebuffer, v0, v1, v2 Vertex, shade Shader, yLo, yHi int) {
 	minX := int(math.Floor(min3(v0.X, v1.X, v2.X)))
 	maxX := int(math.Ceil(max3(v0.X, v1.X, v2.X)))
 	minY := int(math.Floor(min3(v0.Y, v1.Y, v2.Y)))
@@ -26,14 +37,14 @@ func RasterizeTriangle(fb *Framebuffer, v0, v1, v2 Vertex, shade Shader) {
 	if minX < 0 {
 		minX = 0
 	}
-	if minY < 0 {
-		minY = 0
+	if minY < yLo {
+		minY = yLo
 	}
 	if maxX >= fb.W {
 		maxX = fb.W - 1
 	}
-	if maxY >= fb.H {
-		maxY = fb.H - 1
+	if maxY >= yHi {
+		maxY = yHi - 1
 	}
 	area := edge(v0, v1, v2.X, v2.Y)
 	if area == 0 {
@@ -98,30 +109,73 @@ func (m *TriMesh) Area() float64 {
 	return total
 }
 
+// rasterStripeRows is the framebuffer stripe height of the parallel
+// rasterizer. It is a fixed constant (not derived from the worker count) so
+// stripe boundaries — and therefore all floating-point work — are identical
+// at any parallelism level.
+const rasterStripeRows = 16
+
+// shadedTri is a projected, pre-shaded triangle ready for rasterization.
+type shadedTri struct {
+	v          [3]Vertex
+	f          float64 // Lambertian shading factor
+	minY, maxY int     // clamped pixel-row bounds
+}
+
 // RenderMesh rasterizes a TriMesh through the camera with flat Lambertian
 // shading: each triangle's base color comes from shade applied to the mean
 // vertex scalar, scaled by |n·l| against the view direction plus ambient.
 func RenderMesh(fb *Framebuffer, cam *Camera, mesh *TriMesh, shade Shader) {
+	RenderMeshWorkers(fb, cam, mesh, shade, 1)
+}
+
+// RenderMeshWorkers is RenderMesh with an explicit intra-rank worker count.
+// Projection and shading-factor setup parallelize over triangles (disjoint
+// writes into a per-triangle slice); rasterization parallelizes over
+// horizontal framebuffer stripes, each worker owning disjoint rows so
+// z-buffer writes are race-free. Within a stripe triangles are visited in
+// mesh order, so every pixel resolves depth ties exactly as the serial path
+// does and the output is bit-identical at any worker count.
+func RenderMeshWorkers(fb *Framebuffer, cam *Camera, mesh *TriMesh, shade Shader, workers int) {
 	light := cam.ViewDir().Scale(-1)
 	const ambient = 0.25
-	for i := 0; i+2 < len(mesh.V); i += 3 {
-		a, b, c := mesh.V[i], mesh.V[i+1], mesh.V[i+2]
-		n := b.Sub(a).Cross(c.Sub(a)).Normalized()
-		lambert := math.Abs(n.Dot(light))
-		f := ambient + (1-ambient)*lambert
-		var v [3]Vertex
-		for j, p := range []Vec3{a, b, c} {
-			px, py, d := cam.Project(p, fb.W, fb.H)
-			v[j] = Vertex{X: px, Y: py, Depth: d, Scalar: mesh.S[i+j]}
-		}
-		RasterizeTriangle(fb, v[0], v[1], v[2], func(s float64) color.RGBA {
-			base := shade(s)
-			return color.RGBA{
-				R: uint8(float64(base.R) * f),
-				G: uint8(float64(base.G) * f),
-				B: uint8(float64(base.B) * f),
-				A: base.A,
-			}
-		})
+	nt := mesh.Triangles()
+	if nt == 0 {
+		return
 	}
+	tris := make([]shadedTri, nt)
+	parallel.For(workers, nt, 64, func(lo, hi int) {
+		for ti := lo; ti < hi; ti++ {
+			i := ti * 3
+			a, b, c := mesh.V[i], mesh.V[i+1], mesh.V[i+2]
+			n := b.Sub(a).Cross(c.Sub(a)).Normalized()
+			lambert := math.Abs(n.Dot(light))
+			st := shadedTri{f: ambient + (1-ambient)*lambert}
+			for j, p := range []Vec3{a, b, c} {
+				px, py, d := cam.Project(p, fb.W, fb.H)
+				st.v[j] = Vertex{X: px, Y: py, Depth: d, Scalar: mesh.S[i+j]}
+			}
+			st.minY = int(math.Floor(min3(st.v[0].Y, st.v[1].Y, st.v[2].Y)))
+			st.maxY = int(math.Ceil(max3(st.v[0].Y, st.v[1].Y, st.v[2].Y)))
+			tris[ti] = st
+		}
+	})
+	parallel.For(workers, fb.H, rasterStripeRows, func(yLo, yHi int) {
+		for ti := range tris {
+			st := &tris[ti]
+			if st.maxY < yLo || st.minY >= yHi {
+				continue
+			}
+			f := st.f
+			rasterizeTriangleRows(fb, st.v[0], st.v[1], st.v[2], func(s float64) color.RGBA {
+				base := shade(s)
+				return color.RGBA{
+					R: uint8(float64(base.R) * f),
+					G: uint8(float64(base.G) * f),
+					B: uint8(float64(base.B) * f),
+					A: base.A,
+				}
+			}, yLo, yHi)
+		}
+	})
 }

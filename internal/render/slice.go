@@ -6,6 +6,7 @@ import (
 
 	"gosensei/internal/colormap"
 	"gosensei/internal/grid"
+	"gosensei/internal/parallel"
 )
 
 // Plane is an oriented slicing plane.
@@ -54,6 +55,10 @@ type SliceSpec struct {
 	// DomainBounds is the global domain bounding box; it fixes the
 	// pixel-to-world mapping identically on every rank.
 	DomainBounds [6]float64
+	// Workers bounds the intra-rank parallelism of the resample loop; 0 or 1
+	// runs serially. Output is bit-identical at any worker count (each
+	// worker owns disjoint framebuffer rows).
+	Workers int
 }
 
 // planeWindow computes the in-plane bounding rectangle of the domain corners.
@@ -101,34 +106,36 @@ func ResampleImageSlice(fb *Framebuffer, img *grid.ImageData, spec *SliceSpec) e
 
 	ext := img.Extent
 	cx, cy, cz := ext.CellDims()
-	for py := 0; py < fb.H; py++ {
-		pv := vmin + (float64(py)+0.5)*dv
-		for px := 0; px < fb.W; px++ {
-			pu := umin + (float64(px)+0.5)*du
-			w := spec.Plane.Origin.Add(u.Scale(pu)).Add(v.Scale(pv))
-			// World to cell index.
-			fi := (w[0] - img.Origin[0]) / img.Spacing[0]
-			fj := (w[1] - img.Origin[1]) / img.Spacing[1]
-			fk := (w[2] - img.Origin[2]) / img.Spacing[2]
-			ci := int(math.Floor(fi)) - ext[0]
-			cj := int(math.Floor(fj)) - ext[2]
-			ck := int(math.Floor(fk)) - ext[4]
-			if ci < 0 || ci >= cx || cj < 0 || cj >= cy || ck < 0 || ck >= cz {
-				continue
-			}
-			var val float64
-			if spec.Assoc == grid.CellData {
-				idx := ck*cx*cy + cj*cx + ci
-				if ghost != nil && ghost.Value(idx, 0) != 0 {
+	parallel.For(spec.Workers, fb.H, rasterStripeRows, func(yLo, yHi int) {
+		for py := yLo; py < yHi; py++ {
+			pv := vmin + (float64(py)+0.5)*dv
+			for px := 0; px < fb.W; px++ {
+				pu := umin + (float64(px)+0.5)*du
+				w := spec.Plane.Origin.Add(u.Scale(pu)).Add(v.Scale(pv))
+				// World to cell index.
+				fi := (w[0] - img.Origin[0]) / img.Spacing[0]
+				fj := (w[1] - img.Origin[1]) / img.Spacing[1]
+				fk := (w[2] - img.Origin[2]) / img.Spacing[2]
+				ci := int(math.Floor(fi)) - ext[0]
+				cj := int(math.Floor(fj)) - ext[2]
+				ck := int(math.Floor(fk)) - ext[4]
+				if ci < 0 || ci >= cx || cj < 0 || cj >= cy || ck < 0 || ck >= cz {
 					continue
 				}
-				val = a.Value(idx, 0)
-			} else {
-				val = trilinear(img, a, fi-float64(ext[0]), fj-float64(ext[2]), fk-float64(ext[4]))
+				var val float64
+				if spec.Assoc == grid.CellData {
+					idx := ck*cx*cy + cj*cx + ci
+					if ghost != nil && ghost.Value(idx, 0) != 0 {
+						continue
+					}
+					val = a.Value(idx, 0)
+				} else {
+					val = trilinear(img, a, fi-float64(ext[0]), fj-float64(ext[2]), fk-float64(ext[4]))
+				}
+				fb.Set(px, py, spec.Map.Pseudocolor(val, spec.Lo, spec.Hi), 0)
 			}
-			fb.Set(px, py, spec.Map.Pseudocolor(val, spec.Lo, spec.Hi), 0)
 		}
-	}
+	})
 	return nil
 }
 
@@ -179,10 +186,17 @@ func trilinear(img *grid.ImageData, a interface{ Value(int, int) float64 }, fi, 
 	return lerp(lerp(c00, c10, ty), lerp(c01, c11, ty), tz)
 }
 
+// sliceCellGrain is the cell-chunk size of the parallel unstructured slice;
+// fixed so chunk boundaries (and the merged triangle order) are independent
+// of the worker count.
+const sliceCellGrain = 512
+
 // SliceUnstructured extracts the plane intersection of a tetrahedral mesh as
 // triangles with interpolated point scalars, in world space. Rasterize the
 // result with RenderMesh using a camera looking down the plane normal. Cells
-// other than tetrahedra are skipped.
+// other than tetrahedra are skipped. When spec.Workers > 1 the cell loop is
+// chunk-partitioned: each chunk extracts into its own TriMesh and the chunks
+// are merged in cell order, reproducing the serial triangle order exactly.
 func SliceUnstructured(g *grid.UnstructuredGrid, spec *SliceSpec) (*TriMesh, error) {
 	a := g.Attributes(spec.Assoc).Get(spec.ArrayName)
 	if a == nil {
@@ -191,7 +205,6 @@ func SliceUnstructured(g *grid.UnstructuredGrid, spec *SliceSpec) (*TriMesh, err
 	if spec.Assoc != grid.PointData {
 		return nil, fmt.Errorf("render: unstructured slice needs point data")
 	}
-	out := &TriMesh{}
 	pt := func(id int64) Vec3 {
 		return Vec3{g.Points.Value(int(id), 0), g.Points.Value(int(id), 1), g.Points.Value(int(id), 2)}
 	}
@@ -208,20 +221,28 @@ func SliceUnstructured(g *grid.UnstructuredGrid, spec *SliceSpec) (*TriMesh, err
 		}
 		return math.Sqrt(s)
 	}
-	for ci := 0; ci < g.NumberOfCells(); ci++ {
-		if g.CellTypes[ci] != grid.CellTetrahedron {
-			continue
+	parts := parallel.MapChunks(spec.Workers, g.NumberOfCells(), sliceCellGrain, func(_, lo, hi int) *TriMesh {
+		part := &TriMesh{}
+		for ci := lo; ci < hi; ci++ {
+			if g.CellTypes[ci] != grid.CellTetrahedron {
+				continue
+			}
+			ids := g.CellPoints(ci)
+			var p [4]Vec3
+			var d [4]float64
+			var s [4]float64
+			for i := 0; i < 4; i++ {
+				p[i] = pt(ids[i])
+				d[i] = spec.Plane.SignedDistance(p[i])
+				s[i] = scalar(ids[i])
+			}
+			clipTetAgainstPlane(part, p, d, s)
 		}
-		ids := g.CellPoints(ci)
-		var p [4]Vec3
-		var d [4]float64
-		var s [4]float64
-		for i := 0; i < 4; i++ {
-			p[i] = pt(ids[i])
-			d[i] = spec.Plane.SignedDistance(p[i])
-			s[i] = scalar(ids[i])
-		}
-		clipTetAgainstPlane(out, p, d, s)
+		return part
+	})
+	out := &TriMesh{}
+	for _, part := range parts {
+		out.Merge(part)
 	}
 	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"gosensei/internal/colormap"
 	"gosensei/internal/grid"
+	"gosensei/internal/parallel"
 )
 
 // AlphaImage is a premultiplied-alpha float accumulation buffer — the
@@ -100,6 +101,10 @@ type VolumeSpec struct {
 	OpacityScale float64
 	// DomainBounds fixes the pixel mapping identically across ranks.
 	DomainBounds [6]float64
+	// Workers bounds the intra-rank parallelism of the ray march; 0 or 1
+	// runs serially. Rays are independent and each worker owns disjoint
+	// image rows, so output is bit-identical at any worker count.
+	Workers int
 }
 
 // RayMarchLocal renders this rank's brick into an AlphaImage by marching
@@ -154,58 +159,60 @@ func rayMarchSized(img *grid.ImageData, spec *VolumeSpec, w, h int) (*AlphaImage
 
 	du := (b[2*u+1] - b[2*u]) / float64(w)
 	dv := (b[2*v+1] - b[2*v]) / float64(h)
-	for py := 0; py < h; py++ {
-		wv := b[2*v] + (float64(py)+0.5)*dv
-		cv := int(math.Floor((wv - img.Origin[v]) / img.Spacing[v]))
-		lv := cv - ext[2*v]
-		if lv < 0 || lv >= cdim[v] {
-			continue
-		}
-		for px := 0; px < w; px++ {
-			wu := b[2*u] + (float64(px)+0.5)*du
-			cu := int(math.Floor((wu - img.Origin[u]) / img.Spacing[u]))
-			lu := cu - ext[2*u]
-			if lu < 0 || lu >= cdim[u] {
+	parallel.For(spec.Workers, h, rasterStripeRows, func(yLo, yHi int) {
+		for py := yLo; py < yHi; py++ {
+			wv := b[2*v] + (float64(py)+0.5)*dv
+			cv := int(math.Floor((wv - img.Origin[v]) / img.Spacing[v]))
+			lv := cv - ext[2*v]
+			if lv < 0 || lv >= cdim[v] {
 				continue
 			}
-			// March the ray through the brick along the view axis.
-			pi := (py*w + px)
-			var acc [4]float32
-			for s := 0; s < cdim[spec.Axis]; s++ {
-				if acc[3] >= 0.999 {
-					break // early ray termination
-				}
-				var li [3]int
-				li[u], li[v], li[spec.Axis] = lu, lv, s
-				id := li[0]*stride[0] + li[1]*stride[1] + li[2]*stride[2]
-				if ghost != nil && ghost.Value(id, 0) != 0 {
+			for px := 0; px < w; px++ {
+				wu := b[2*u] + (float64(px)+0.5)*du
+				cu := int(math.Floor((wu - img.Origin[u]) / img.Spacing[u]))
+				lu := cu - ext[2*u]
+				if lu < 0 || lu >= cdim[u] {
 					continue
 				}
-				val := arr.Value(id, 0)
-				tn := 0.0
-				if spec.Hi > spec.Lo {
-					tn = (val - spec.Lo) / (spec.Hi - spec.Lo)
+				// March the ray through the brick along the view axis.
+				pi := (py*w + px)
+				var acc [4]float32
+				for s := 0; s < cdim[spec.Axis]; s++ {
+					if acc[3] >= 0.999 {
+						break // early ray termination
+					}
+					var li [3]int
+					li[u], li[v], li[spec.Axis] = lu, lv, s
+					id := li[0]*stride[0] + li[1]*stride[1] + li[2]*stride[2]
+					if ghost != nil && ghost.Value(id, 0) != 0 {
+						continue
+					}
+					val := arr.Value(id, 0)
+					tn := 0.0
+					if spec.Hi > spec.Lo {
+						tn = (val - spec.Lo) / (spec.Hi - spec.Lo)
+					}
+					if tn <= 0 {
+						continue
+					}
+					if tn > 1 {
+						tn = 1
+					}
+					alpha := 1 - math.Exp(-spec.OpacityScale*tn*h0)
+					col := spec.Map.At(tn)
+					a32 := float32(alpha)
+					t := 1 - acc[3]
+					acc[0] += t * a32 * float32(col.R) / 255
+					acc[1] += t * a32 * float32(col.G) / 255
+					acc[2] += t * a32 * float32(col.B) / 255
+					acc[3] += t * a32
 				}
-				if tn <= 0 {
-					continue
-				}
-				if tn > 1 {
-					tn = 1
-				}
-				alpha := 1 - math.Exp(-spec.OpacityScale*tn*h0)
-				col := spec.Map.At(tn)
-				a32 := float32(alpha)
-				t := 1 - acc[3]
-				acc[0] += t * a32 * float32(col.R) / 255
-				acc[1] += t * a32 * float32(col.G) / 255
-				acc[2] += t * a32 * float32(col.B) / 255
-				acc[3] += t * a32
+				out.Pix[pi*4+0] = acc[0]
+				out.Pix[pi*4+1] = acc[1]
+				out.Pix[pi*4+2] = acc[2]
+				out.Pix[pi*4+3] = acc[3]
 			}
-			out.Pix[pi*4+0] = acc[0]
-			out.Pix[pi*4+1] = acc[1]
-			out.Pix[pi*4+2] = acc[2]
-			out.Pix[pi*4+3] = acc[3]
 		}
-	}
+	})
 	return out, orderKey, nil
 }
