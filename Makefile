@@ -1,16 +1,24 @@
 GO ?= go
 
-.PHONY: all check build vet test bench bench-smoke race cover experiments examples clean
+.PHONY: all check build vet fmt-check lint test bench bench-smoke race cover experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
-check: build vet test race bench-smoke
+check: build vet fmt-check lint test race bench-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fails when any file (fixtures included) is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# The repo-specific invariant suite; see DESIGN.md's invariant catalog.
+lint:
+	$(GO) run ./cmd/gosenseilint -stats
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,50 @@
+// Command gosenseilint runs the repo's static-analysis suite (package
+// internal/lint) over the module and reports invariant violations in
+// `file:line: [rule] message` form.
+//
+// Usage:
+//
+//	gosenseilint [-C dir] [-json] [-stats]
+//
+// Exit status is 0 when the tree is clean, 1 when findings exist, and 2 on
+// driver errors. The same suite runs inside `go test ./internal/lint/...`,
+// so CI enforcement does not depend on this binary; it exists for ad-hoc
+// runs and editor integration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gosensei/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module directory (or any subdirectory of it)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	stats := flag.Bool("stats", false, "print scan statistics to stderr")
+	flag.Parse()
+
+	res, err := lint.RunModule(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gosenseilint: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		err = lint.WriteJSON(os.Stdout, res.Diagnostics)
+	} else {
+		err = lint.WriteText(os.Stdout, res.Diagnostics)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gosenseilint: %v\n", err)
+		os.Exit(2)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "gosenseilint: %d packages, %d files, %d findings (%d suppressed) in %s\n",
+			res.Packages, res.Files, len(res.Diagnostics), res.Suppressed, res.Elapsed.Round(1e6))
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}

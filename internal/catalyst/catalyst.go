@@ -319,6 +319,7 @@ func (a *SliceAdaptor) writeImage(final *render.Framebuffer, step int) error {
 	final.FillBackground(background)
 	var w io.Writer = io.Discard
 	var buf *bytes.Buffer
+	var file *os.File
 	if a.Opts.Hub != nil {
 		buf = &bytes.Buffer{}
 		w = buf
@@ -330,7 +331,7 @@ func (a *SliceAdaptor) writeImage(final *render.Framebuffer, step int) error {
 		if err != nil {
 			return fmt.Errorf("catalyst: %w", err)
 		}
-		defer f.Close()
+		file = f
 		w = f
 	}
 	opts := render.PNGOptions{Parallel: a.Opts.ParallelPNG, Workers: a.workers()}
@@ -342,7 +343,17 @@ func (a *SliceAdaptor) writeImage(final *render.Framebuffer, step int) error {
 		_, err = render.WritePNG(w, final, opts)
 	})
 	if err != nil {
+		if file != nil {
+			_ = file.Close() // the encode error wins
+		}
 		return err
+	}
+	// Close is where a buffered write failure finally surfaces; dropping it
+	// would let the I/O-cost experiments count bytes that never landed.
+	if file != nil {
+		if err := file.Close(); err != nil {
+			return fmt.Errorf("catalyst: %w", err)
+		}
 	}
 	if buf != nil {
 		a.Opts.Hub.Publish(live.Frame{Step: step, Width: final.W, Height: final.H, PNG: buf.Bytes()})

@@ -312,13 +312,18 @@ func (cn *Cinema) store(final *render.Framebuffer, step int, time, iso, phi, the
 	if err != nil {
 		return fmt.Errorf("extracts: %w", err)
 	}
-	defer f.Close()
 	var werr error
 	cn.reg().Time("cinema::png", step, func() {
 		_, werr = render.WritePNG(f, final, render.PNGOptions{})
 	})
 	if werr != nil {
+		_ = f.Close() // the encode error wins
 		return werr
+	}
+	// Close surfaces buffered write failures; the cinema index must not
+	// record a frame whose bytes never landed.
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("extracts: %w", err)
 	}
 	cn.index.Entries = append(cn.index.Entries, Entry{
 		File: name, Step: step, Time: time, Iso: iso, Phi: phi, Theta: theta,

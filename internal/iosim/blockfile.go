@@ -109,13 +109,19 @@ func WriteBlockFile(dir string, rank int, img *grid.ImageData, step int, time fl
 	if err != nil {
 		return 0, fmt.Errorf("iosim: %w", err)
 	}
-	defer f.Close()
 	if err := WriteBlock(f, img, step, time); err != nil {
+		_ = f.Close() // the write error wins
 		return 0, err
 	}
 	st, err := f.Stat()
 	if err != nil {
+		_ = f.Close()
 		return 0, err
+	}
+	// Close surfaces buffered write failures; the paper's I/O-cost numbers
+	// count these bytes, so a lost block must be an error, not a guess.
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("iosim: %w", err)
 	}
 	return st.Size(), nil
 }
@@ -126,6 +132,7 @@ func ReadBlockFile(dir string, step, rank int) (*grid.ImageData, int, float64, e
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("iosim: %w", err)
 	}
+	//lint:ignore unchecked-close read-only file: no written bytes can be lost, and decode errors already surface from ReadBlock
 	defer f.Close()
 	return ReadBlock(f)
 }

@@ -542,6 +542,7 @@ func (a *Adaptor) writeImage(final *render.Framebuffer, step int) error {
 	final.FillBackground(color.RGBA{R: 12, G: 12, B: 16, A: 255})
 	var w io.Writer = io.Discard
 	var buf *bytes.Buffer
+	var file *os.File
 	if a.Opts.Hub != nil {
 		buf = &bytes.Buffer{}
 		w = buf
@@ -553,7 +554,7 @@ func (a *Adaptor) writeImage(final *render.Framebuffer, step int) error {
 		if err != nil {
 			return fmt.Errorf("libsim: %w", err)
 		}
-		defer f.Close()
+		file = f
 		w = f
 	}
 	var err error
@@ -564,7 +565,17 @@ func (a *Adaptor) writeImage(final *render.Framebuffer, step int) error {
 		})
 	})
 	if err != nil {
+		if file != nil {
+			_ = file.Close() // the encode error wins
+		}
 		return err
+	}
+	// Close is where a buffered write failure finally surfaces; dropping it
+	// would let the I/O-cost experiments count bytes that never landed.
+	if file != nil {
+		if err := file.Close(); err != nil {
+			return fmt.Errorf("libsim: %w", err)
+		}
 	}
 	if buf != nil {
 		a.Opts.Hub.Publish(live.Frame{Step: step, Width: final.W, Height: final.H, PNG: buf.Bytes()})

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Diagnostic is one finding: a rule violation at a source position.
+type Diagnostic struct {
+	File    string `json:"file"` // module-relative path
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the canonical "file:line: [rule] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Rule, d.Message)
+}
+
+// sortDiagnostics orders findings by file, line, column, then rule, so output
+// is stable across runs and map-iteration order never leaks into reports.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteText prints one diagnostic per line in the canonical form.
+func WriteText(w io.Writer, ds []Diagnostic) error {
+	for _, d := range ds {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON prints the findings as a JSON array (for -json and tooling).
+func WriteJSON(w io.Writer, ds []Diagnostic) error {
+	if ds == nil {
+		ds = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ds)
+}
+
+// relPosition converts a token position to a module-relative Diagnostic
+// location; paths outside the module root stay absolute.
+func relPosition(root string, pos token.Position) (file string, line, col int) {
+	file = pos.Filename
+	if root != "" {
+		if r, err := filepath.Rel(root, pos.Filename); err == nil && !filepath.IsAbs(r) {
+			file = filepath.ToSlash(r)
+		}
+	}
+	return file, pos.Line, pos.Column
+}

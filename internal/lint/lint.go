@@ -1,0 +1,284 @@
+// Package lint is gosensei's repo-specific static-analysis suite. It
+// enforces, on every `go test ./...`, the sharp-edged invariants the hot
+// path depends on and convention alone cannot protect:
+//
+//   - nondeterminism: the deterministic kernels (oscillator, render,
+//     compositing, analysis, parallel) must not read clocks, use the global
+//     math/rand source, or let map iteration order feed outputs — the
+//     paper's Table 2 / Figure 5 measurements are reproduced bit-identically
+//     only because these packages are pure functions of their inputs.
+//   - ownership: a buffer passed to mpi.SendOwned/SendRecvOwned, or a
+//     framebuffer after Release, belongs to someone else; touching it again
+//     in the same function is a use-after-give.
+//   - worker-independence: parallel.For/MapChunks bodies (and their n/grain
+//     chunking arguments) must not depend on the worker count, or results
+//     stop being byte-identical across thread budgets.
+//   - mpi-tag-hygiene: message tags outside internal/mpi must be named
+//     constants, keeping cross-subsystem tag collisions greppable.
+//   - unchecked-close: the I/O writers the paper's I/O-cost experiments
+//     depend on must not drop Close/Flush/Write errors.
+//
+// Findings can be suppressed with `//lint:ignore <rule> <reason>` on the
+// offending line or the line above; a suppression without a reason is
+// itself a finding. The suite is stdlib-only (go/ast, go/parser, go/token,
+// go/types) — see DESIGN.md's invariant catalog for the rationale behind
+// each rule.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"time"
+)
+
+// Config scopes the rules. Paths are import paths (exact or prefix for
+// *Pkgs fields) and module-relative file suffixes for ClockAllowedFiles.
+type Config struct {
+	// DeterministicPkgs are the kernel packages where the nondeterminism
+	// rule applies.
+	DeterministicPkgs []string
+	// ClockAllowedFiles are module-relative files inside deterministic
+	// packages that may read clocks: the timing/metrics layers that report
+	// durations without affecting computed bytes.
+	ClockAllowedFiles []string
+	// IOWriterPkgs are the packages where dropped Close/Flush/Write errors
+	// are findings.
+	IOWriterPkgs []string
+	// MPIPkg, RenderPkg, ParallelPkg locate the packages whose contracts
+	// the ownership, tag, and worker rules enforce.
+	MPIPkg      string
+	RenderPkg   string
+	ParallelPkg string
+}
+
+// DefaultConfig returns the scoping for the gosensei module itself.
+func DefaultConfig() *Config {
+	const m = "gosensei"
+	return &Config{
+		DeterministicPkgs: []string{
+			m + "/internal/oscillator",
+			m + "/internal/render",
+			m + "/internal/compositing",
+			m + "/internal/analysis",
+			m + "/internal/parallel",
+		},
+		// WritePNG times the serial encode (the paper's rank-0 bottleneck)
+		// and returns the duration for the metrics layer; pixels are
+		// unaffected, so its clock reads are legitimate.
+		ClockAllowedFiles: []string{"internal/render/png.go"},
+		IOWriterPkgs: []string{
+			m + "/internal/iosim",
+			m + "/internal/adios",
+			m + "/internal/extracts",
+			m + "/internal/catalyst",
+			m + "/internal/libsim",
+			m + "/internal/render",
+			m + "/cmd/posthoc",
+		},
+		MPIPkg:      m + "/internal/mpi",
+		RenderPkg:   m + "/internal/render",
+		ParallelPkg: m + "/internal/parallel",
+	}
+}
+
+// Analyzer is one rule: a name and a function run once per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pass)
+}
+
+// Pass hands an analyzer one package plus reporting plumbing.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+	Cfg  *Config
+	root string // module root for relative paths
+	out  *[]Diagnostic
+	rule string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	file, line, col := relPosition(p.root, position)
+	*p.out = append(*p.out, Diagnostic{
+		File: file, Line: line, Col: col, Rule: p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full rule suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NondeterminismAnalyzer(),
+		OwnershipAnalyzer(),
+		WorkerIndependenceAnalyzer(),
+		TagHygieneAnalyzer(),
+		UncheckedCloseAnalyzer(),
+	}
+}
+
+// Result is the outcome of a suite run.
+type Result struct {
+	// Diagnostics are the unsuppressed findings, sorted.
+	Diagnostics []Diagnostic
+	// Suppressed counts findings silenced by a valid //lint:ignore.
+	Suppressed int
+	// Files and Packages are scan-volume stats for benchmarking.
+	Files    int
+	Packages int
+	// Elapsed is the wall time of the run (load + analyze).
+	Elapsed time.Duration
+}
+
+// Run executes the given analyzers over the packages, applying suppressions
+// found in their sources. Malformed suppressions are reported under the
+// "ignore" rule.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer, cfg *Config) *Result {
+	start := time.Now()
+	var raw []Diagnostic
+	sup := newSuppressionIndex()
+	res := &Result{Packages: len(pkgs)}
+	for _, pkg := range pkgs {
+		res.Files += len(pkg.Files)
+		for _, f := range pkg.Files {
+			dirs, malformed := parseIgnores(l.Fset, f, l.ModuleRoot)
+			raw = append(raw, malformed...)
+			file := l.Fset.Position(f.Pos()).Filename
+			rel, _, _ := relPosition(l.ModuleRoot, token.Position{Filename: file})
+			for _, d := range dirs {
+				sup.add(rel, d)
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Fset: l.Fset, Pkg: pkg, Cfg: cfg, root: l.ModuleRoot, out: &raw, rule: a.Name}
+			a.Run(pass)
+		}
+	}
+	for _, d := range raw {
+		if d.Rule != RuleIgnore && sup.suppresses(d) {
+			res.Suppressed++
+			continue
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+	sortDiagnostics(res.Diagnostics)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// RunModule loads the module rooted at (or above) root and runs the full
+// suite with the default configuration.
+func RunModule(root string) (*Result, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	res := Run(l, pkgs, Analyzers(), DefaultConfig())
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// --- shared AST/type helpers used by several rules ---
+
+// importedPkgPath resolves an identifier to the import path of the package
+// it names, or "" when it is not a package name.
+func importedPkgPath(info *types.Info, id *ast.Ident) string {
+	if obj, ok := info.Uses[id].(*types.PkgName); ok {
+		return obj.Imported().Path()
+	}
+	return ""
+}
+
+// calleeFromPkg matches call expressions of the form pkg.Fn(...) or
+// pkg.Fn[T](...) where pkg's import path is pkgPath, returning the function
+// name.
+func calleeFromPkg(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	fun := call.Fun
+	// Unwrap explicit generic instantiation: pkg.Fn[T] / pkg.Fn[K, V].
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ix.X
+	case *ast.IndexListExpr:
+		fun = ix.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if importedPkgPath(info, id) != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// methodOn matches method calls x.M(...) whose method is declared on the
+// named type typeName in package pkgPath, returning the receiver expression.
+func methodOn(info *types.Info, call *ast.CallExpr, pkgPath, typeName, method string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil, false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return nil, false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return nil, false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != typeName {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// pkgInScope reports whether path matches any entry (exact or as a path
+// prefix followed by "/").
+func pkgInScope(path string, scope []string) bool {
+	for _, s := range scope {
+		if path == s || strings.HasPrefix(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent peels slice/index/star/paren expressions down to a base
+// identifier: x, x[i], x[:n], (*x), (x) all yield x.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

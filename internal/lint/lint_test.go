@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestModuleIsLintClean is the enforcement point: running the full suite
+// over the whole module must report zero unsuppressed diagnostics, so any
+// new violation fails `go test ./...` (tier 1), not just `make lint`.
+func TestModuleIsLintClean(t *testing.T) {
+	res, err := RunModule("../..")
+	if err != nil {
+		t.Fatalf("RunModule: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("%s", d.String())
+	}
+	// Guard against the scan silently shrinking (e.g. a loader regression
+	// skipping directories would make "zero findings" meaningless).
+	if res.Packages < 30 || res.Files < 60 {
+		t.Errorf("suspiciously small scan: %d packages, %d files", res.Packages, res.Files)
+	}
+	if res.Suppressed == 0 {
+		t.Errorf("expected at least one suppressed finding (the tree carries documented //lint:ignore directives)")
+	}
+}
+
+// TestWriteFormats checks the two CLI output encodings.
+func TestWriteFormats(t *testing.T) {
+	diags := []Diagnostic{
+		{File: "a/b.go", Line: 3, Col: 2, Rule: "ownership", Message: "boom"},
+	}
+	var text bytes.Buffer
+	if err := WriteText(&text, diags); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.TrimSpace(text.String()), "a/b.go:3: [ownership] boom"; got != want {
+		t.Errorf("WriteText = %q, want %q", got, want)
+	}
+	var js bytes.Buffer
+	if err := WriteJSON(&js, diags); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Diagnostic
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v", err)
+	}
+	if len(decoded) != 1 || decoded[0] != diags[0] {
+		t.Errorf("JSON round-trip = %+v, want %+v", decoded, diags)
+	}
+}

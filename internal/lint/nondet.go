@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// RuleNondeterminism flags clock reads, global math/rand use, and
+// order-sensitive map iteration inside the deterministic kernel packages.
+const RuleNondeterminism = "nondeterminism"
+
+// clockFuncs are the package-level time functions that read the wall clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededRandFuncs are the math/rand package-level functions that construct
+// explicitly seeded generators rather than touching the global source; they
+// are the sanctioned way to get randomness in a deterministic kernel.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// NondeterminismAnalyzer builds the nondeterminism rule.
+func NondeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: RuleNondeterminism,
+		Doc:  "forbid clock reads, global math/rand, and output-feeding map ranges in deterministic kernels",
+		Run:  runNondeterminism,
+	}
+}
+
+func runNondeterminism(p *Pass) {
+	if !pkgInScope(p.Pkg.Path, p.Cfg.DeterministicPkgs) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		file := p.Fset.Position(f.Pos()).Filename
+		clockOK := false
+		for _, allowed := range p.Cfg.ClockAllowedFiles {
+			if strings.HasSuffix(file, allowed) {
+				clockOK = true
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				id, ok := n.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				switch importedPkgPath(p.Pkg.Info, id) {
+				case "time":
+					if clockFuncs[n.Sel.Name] && !clockOK {
+						p.Reportf(n.Pos(), "time.%s in deterministic kernel package %s; results must be pure functions of the inputs (move timing to the metrics layer)", n.Sel.Name, p.Pkg.Path)
+					}
+				case "math/rand", "math/rand/v2":
+					if !seededRandFuncs[n.Sel.Name] {
+						p.Reportf(n.Pos(), "global math/rand.%s in deterministic kernel package %s; use rand.New(rand.NewSource(seed)) so results are reproducible", n.Sel.Name, p.Pkg.Path)
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapRange(p, f, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags `for k := range m` over a map when the loop body feeds
+// an order-sensitive output: an append to an outer slice (element order
+// follows iteration order), an mpi send (message order), or a scalar
+// update of an outer variable (`sum += v`, `last = v`, `n++` — accumulation
+// order). Indexed writes (`out[k] = v`) touch disjoint cells per key and
+// stay order-independent, so they are not flagged. Map iteration order is
+// randomized per run, so any flagged flow breaks bit-identical output.
+func checkMapRange(p *Pass, f *ast.File, rng *ast.RangeStmt) {
+	tv, ok := p.Pkg.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	outer := func(id *ast.Ident) bool {
+		obj := p.Pkg.Info.Uses[id]
+		if obj == nil {
+			return false
+		}
+		// Declared before the range statement begins => outlives the loop.
+		return obj.Pos() < rng.Pos()
+	}
+	var sink ast.Node
+	var detail string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && isBuiltinAppend(p, id) {
+				// flag when the destination is an outer slice.
+				if len(n.Args) > 0 {
+					root := rootIdent(n.Args[0])
+					// The sanctioned fix is collect-then-sort: appending the
+					// keys in random order is fine when a later sort call
+					// erases that order before anyone reads the slice.
+					if root != nil && outer(root) && !sortedLater(p, f, rng, p.Pkg.Info.Uses[root]) {
+						sink, detail = n, "appends to "+root.Name
+					}
+				}
+			}
+			if name, ok := calleeFromPkg(p.Pkg.Info, n, p.Cfg.MPIPkg); ok && strings.HasPrefix(name, "Send") {
+				sink, detail = n, "sends an mpi message"
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if _, isIndex := lhs.(*ast.IndexExpr); isIndex {
+					continue // per-key cell writes are order-independent
+				}
+				root := rootIdent(lhs)
+				if root == nil {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok {
+						root = rootIdent(sel.X)
+					}
+				}
+				if root == nil || !outer(root) {
+					continue
+				}
+				// `out = append(out, …)` is the append sink in assignment
+				// clothing; it gets the same collect-then-sort exemption as
+				// the bare append case below.
+				if i < len(n.Rhs) && isSelfAppend(p, n.Rhs[i], root) {
+					if !sortedLater(p, f, rng, p.Pkg.Info.Uses[root]) {
+						sink, detail = n, "appends to "+root.Name
+					}
+					continue
+				}
+				sink, detail = n, "updates "+root.Name
+			}
+		case *ast.IncDecStmt:
+			if root := rootIdent(n.X); root != nil && outer(root) {
+				sink, detail = n, "updates "+root.Name
+			}
+		}
+		return true
+	})
+	if sink != nil {
+		p.Reportf(rng.Pos(), "map iteration order feeds an output (%s); collect and sort the keys first so results are order-independent", detail)
+	}
+}
+
+// isSelfAppend reports whether rhs is `append(root, …)` for the builtin
+// append.
+func isSelfAppend(p *Pass, rhs ast.Expr, root *ast.Ident) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || !isBuiltinAppend(p, id) {
+		return false
+	}
+	dst := rootIdent(call.Args[0])
+	return dst != nil && p.Pkg.Info.Uses[dst] == p.Pkg.Info.Uses[root]
+}
+
+// isBuiltinAppend reports whether id resolves to the builtin append (a
+// *types.Builtin in Uses, not a shadowing local).
+func isBuiltinAppend(p *Pass, id *ast.Ident) bool {
+	if id.Name != "append" {
+		return false
+	}
+	obj := p.Pkg.Info.Uses[id]
+	if obj == nil {
+		return true // parser-only fallback
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// sortedLater reports whether obj is passed to a sort or slices call after
+// the range loop ends — the collect-then-sort idiom. The append order is
+// random, but the subsequent sort erases it before anyone reads the slice.
+func sortedLater(p *Pass, f *ast.File, rng *ast.RangeStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch importedPkgPath(p.Pkg.Info, id) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if mid, isID := m.(*ast.Ident); isID && p.Pkg.Info.Uses[mid] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,342 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RuleOwnership flags uses of a buffer after its ownership left the
+// function: a slice passed to mpi.SendOwned/SendRecvOwned belongs to the
+// receiver, and a framebuffer after Release belongs to the pool. Either way
+// the memory may be concurrently overwritten, which corrupts results
+// silently — the exact aliasing class PR 1's pool tests guard dynamically.
+const RuleOwnership = "ownership"
+
+// OwnershipAnalyzer builds the ownership rule.
+func OwnershipAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: RuleOwnership,
+		Doc:  "forbid touching a buffer after mpi.SendOwned/SendRecvOwned or Framebuffer.Release gave it away",
+		Run:  runOwnership,
+	}
+}
+
+// giveInfo records how and where a variable was given away.
+type giveInfo struct {
+	what string // "mpi.SendOwned", "mpi.SendRecvOwned", or "Release"
+	line int
+}
+
+// ownWalker performs a lexical walk of one function body: statements are
+// processed in source order, a give taints the variable's object, an
+// assignment to the bare variable kills the taint, and any read or
+// element-write of a tainted variable is a finding. Loop bodies are walked
+// twice so a give at the bottom of an iteration catches the use at the top
+// of the next one; `reported` dedupes the second pass.
+type ownWalker struct {
+	pass     *Pass
+	given    map[types.Object]giveInfo
+	reported map[token.Pos]bool
+}
+
+func runOwnership(p *Pass) {
+	if p.Pkg.Path == p.Cfg.MPIPkg {
+		return // the runtime itself implements the transfer
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				w := &ownWalker{pass: p, given: map[types.Object]giveInfo{}, reported: map[token.Pos]bool{}}
+				w.stmts(body.List)
+			}
+			return true
+		})
+	}
+}
+
+func (w *ownWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+// branch walks a conditional block. When the block terminates (return,
+// panic, break/continue/goto), the execution that performed its gives and
+// kills never reaches the code after the conditional, so the walker's taint
+// state is restored — this is what keeps the ubiquitous
+// `if err != nil { fb.Release(); return }` pattern clean.
+func (w *ownWalker) branch(list []ast.Stmt) {
+	if !terminates(list) {
+		w.stmts(list)
+		return
+	}
+	saved := make(map[types.Object]giveInfo, len(w.given))
+	for k, v := range w.given {
+		saved[k] = v
+	}
+	w.stmts(list)
+	w.given = saved
+}
+
+// terminates reports whether a statement list always transfers control away
+// from the code that follows it.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch s := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	case *ast.LabeledStmt:
+		return terminates([]ast.Stmt{s.Stmt})
+	}
+	return false
+}
+
+func (w *ownWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.expr(rhs)
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				// Rebinding the variable replaces the given buffer; the
+				// taint dies with the old value.
+				if obj := w.objOf(id); obj != nil {
+					delete(w.given, obj)
+				}
+				continue
+			}
+			// x[i] = v or x.F = v writes through the given buffer: a use.
+			w.useOf(lhs)
+			w.expr(indexesOf(lhs))
+		}
+	case *ast.IncDecStmt:
+		// x++ reads the old value before writing: a use either way.
+		w.useOf(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+					for _, name := range vs.Names {
+						if obj := w.pass.Pkg.Info.Defs[name]; obj != nil {
+							delete(w.given, obj)
+						}
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		w.branch(s.Body.List)
+		if s.Else != nil {
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				w.branch(blk.List)
+			} else {
+				w.stmt(s.Else)
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		// Two passes: catch wrap-around uses of a buffer given late in the
+		// previous iteration (unless the loop top rebinds it first).
+		w.stmts(s.Body.List)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+		w.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.stmts(s.Body.List)
+		w.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.expr(e)
+				}
+				w.branch(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.branch(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm)
+				}
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.GoStmt:
+		w.expr(s.Call)
+	case *ast.DeferStmt:
+		w.expr(s.Call)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	}
+}
+
+// expr checks every identifier in e against the current taints, then applies
+// any gives e performs. Scanning before tainting keeps a give's own
+// arguments clean while a second give of the same variable still trips.
+func (w *ownWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// The closure's free variables are uses at creation time; its
+			// own gives are analyzed when runOwnership visits the literal.
+			w.scanUses(n)
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			w.checkIdent(id)
+		}
+		return true
+	})
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := calleeFromPkg(w.pass.Pkg.Info, call, w.pass.Cfg.MPIPkg); ok {
+			if (name == "SendOwned" || name == "SendRecvOwned") && len(call.Args) >= 4 {
+				w.give(call.Args[3], "mpi."+name)
+			}
+			return true
+		}
+		if recv, ok := methodOn(w.pass.Pkg.Info, call, w.pass.Cfg.RenderPkg, "Framebuffer", "Release"); ok {
+			w.give(recv, "Release")
+		}
+		return true
+	})
+}
+
+// scanUses reports tainted identifiers anywhere under n without processing
+// gives or kills.
+func (w *ownWalker) scanUses(n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			w.checkIdent(id)
+		}
+		return true
+	})
+}
+
+func (w *ownWalker) checkIdent(id *ast.Ident) {
+	obj := w.pass.Pkg.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	info, tainted := w.given[obj]
+	if !tainted || w.reported[id.Pos()] {
+		return
+	}
+	w.reported[id.Pos()] = true
+	w.pass.Reportf(id.Pos(), "%s used after %s gave its buffer away (line %d); the owner may already be overwriting it", id.Name, info.what, info.line)
+}
+
+// useOf flags the root variable of a compound lvalue when tainted.
+func (w *ownWalker) useOf(e ast.Expr) {
+	root := rootIdent(e)
+	if root == nil {
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			root = rootIdent(sel.X)
+		}
+	}
+	if root != nil {
+		w.checkIdent(root)
+	}
+}
+
+// give taints the object behind expr (when it is a variable, possibly
+// sliced or indexed) as given away.
+func (w *ownWalker) give(expr ast.Expr, what string) {
+	root := rootIdent(expr)
+	if root == nil {
+		return
+	}
+	obj := w.objOf(root)
+	if obj == nil {
+		return
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return
+	}
+	w.given[obj] = giveInfo{what: what, line: w.pass.Fset.Position(expr.Pos()).Line}
+}
+
+func (w *ownWalker) objOf(id *ast.Ident) types.Object {
+	if obj := w.pass.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return w.pass.Pkg.Info.Defs[id]
+}
+
+// indexesOf returns the index expression of an index lvalue so its reads are
+// still scanned (x[i] reads i even though x is the write target).
+func indexesOf(e ast.Expr) ast.Expr {
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		return ix.Index
+	}
+	return nil
+}

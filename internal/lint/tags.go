@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// RuleTagHygiene flags raw integer literals used as message tags outside
+// internal/mpi. Tags partition the message space across subsystems; a bare
+// `7` at a call site cannot be grepped against other subsystems' tags, so
+// collisions (and the silent message mismatches they cause) go unnoticed.
+// Named constants make the whole tag space auditable with one search.
+const RuleTagHygiene = "mpi-tag-hygiene"
+
+// tagArgIndex maps mpi point-to-point functions to the indices of their tag
+// parameters.
+var tagArgIndex = map[string][]int{
+	"Send":          {2},
+	"SendOwned":     {2},
+	"Recv":          {2},
+	"SendRecv":      {2, 5},
+	"SendRecvOwned": {2, 5},
+}
+
+// TagHygieneAnalyzer builds the mpi-tag-hygiene rule.
+func TagHygieneAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: RuleTagHygiene,
+		Doc:  "require named constants for mpi message tags outside internal/mpi",
+		Run:  runTagHygiene,
+	}
+}
+
+func runTagHygiene(p *Pass) {
+	if p.Pkg.Path == p.Cfg.MPIPkg {
+		return // the runtime's own internals allocate the collective tag space
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := calleeFromPkg(p.Pkg.Info, call, p.Cfg.MPIPkg)
+			if !ok {
+				return true
+			}
+			for _, idx := range tagArgIndex[name] {
+				if idx >= len(call.Args) {
+					continue
+				}
+				if lit, ok := bareIntLiteral(call.Args[idx]); ok {
+					p.Reportf(lit.Pos(), "raw integer literal %s as mpi.%s tag; declare a named tag constant so cross-subsystem collisions stay greppable", lit.Value, name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// bareIntLiteral reports whether e is an integer literal, possibly wrapped
+// in parentheses or a sign. Arithmetic over named constants (tagBase + 2*k)
+// is allowed — only a literal standing alone as the whole tag is flagged.
+func bareIntLiteral(e ast.Expr) (*ast.BasicLit, bool) {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			if v.Op != token.SUB && v.Op != token.ADD {
+				return nil, false
+			}
+			e = v.X
+		case *ast.BasicLit:
+			if v.Kind == token.INT {
+				return v, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}

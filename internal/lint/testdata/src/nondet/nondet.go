@@ -1,0 +1,78 @@
+// Package nondet exercises the nondeterminism rule: clock reads, global
+// math/rand, and output-feeding map ranges in a deterministic kernel.
+package nondet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"gosensei/internal/mpi"
+)
+
+const tagField = 500
+
+// Kernel reads the clock and the global rand source: both break
+// reproducibility.
+func Kernel(out []float64) time.Duration {
+	start := time.Now() // want nondeterminism
+	for i := range out {
+		out[i] = rand.Float64() // want nondeterminism
+	}
+	return time.Since(start) // want nondeterminism
+}
+
+// Seeded uses the sanctioned explicitly seeded source: clean.
+func Seeded(seed int64, out []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+}
+
+// Flatten feeds map iteration order straight into a slice.
+func Flatten(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want nondeterminism
+		out = append(out, v)
+	}
+	return out
+}
+
+// Total accumulates in iteration order; float addition is not associative.
+func Total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want nondeterminism
+		sum += v
+	}
+	return sum
+}
+
+// Broadcast sends in map order: receivers see a random message sequence.
+func Broadcast(c *mpi.Comm, m map[int][]float64) {
+	for _, v := range m { // want nondeterminism
+		mpi.Send(c, 1, tagField, v)
+	}
+}
+
+// FlattenSorted is the sanctioned collect-then-sort idiom: the append order
+// is random but the sort erases it. Clean.
+func FlattenSorted(m map[int]float64) []float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Histogram writes disjoint cells per key; order cannot matter. Clean.
+func Histogram(m map[int]int, out []int) {
+	for k, v := range m {
+		out[k] = v
+	}
+}

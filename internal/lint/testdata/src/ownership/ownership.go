@@ -1,0 +1,70 @@
+// Package ownership exercises the use-after-give rule for buffers handed to
+// mpi.SendOwned/SendRecvOwned and framebuffers after Release.
+package ownership
+
+import (
+	"gosensei/internal/mpi"
+	"gosensei/internal/render"
+)
+
+const tagA = 900
+
+// ReuseAfterSendOwned hands buf to the receiver, then writes into it.
+func ReuseAfterSendOwned(c *mpi.Comm, buf []float32) {
+	mpi.SendOwned(c, 1, tagA, buf)
+	buf[0] = 1 // want ownership
+}
+
+// ReadAfterSendRecvOwned reads buf after the exchange consumed it.
+func ReadAfterSendRecvOwned(c *mpi.Comm, buf []float32) float32 {
+	got, err := mpi.SendRecvOwned(c, 1, tagA, buf, 1, tagA)
+	if err != nil {
+		return 0
+	}
+	return got[0] + buf[1] // want ownership
+}
+
+// UseAfterRelease reads a framebuffer the pool may already have recycled.
+func UseAfterRelease(fb *render.Framebuffer) int {
+	fb.Release()
+	return fb.W // want ownership
+}
+
+// LoopWraparound gives at the bottom of an iteration and reads at the top of
+// the next; the repeated give is itself a second use.
+func LoopWraparound(c *mpi.Comm, buf []float32) {
+	for i := 0; i < 2; i++ {
+		_ = buf[0]                     // want ownership
+		mpi.SendOwned(c, 1, tagA, buf) // want ownership
+	}
+}
+
+// RebindIsClean: reassignment replaces the given buffer, killing the taint.
+func RebindIsClean(c *mpi.Comm, buf []float32) float32 {
+	mpi.SendOwned(c, 1, tagA, buf)
+	buf = make([]float32, 4)
+	return buf[0]
+}
+
+// TerminatingBranchIsClean mirrors the adaptors' error paths: the release
+// only happens on an execution that never reaches the later use.
+func TerminatingBranchIsClean(fb *render.Framebuffer, fail bool) int {
+	if fail {
+		fb.Release()
+		return 0
+	}
+	return fb.W
+}
+
+// SendCopyIsClean: plain Send copies the data; reuse is the contract.
+func SendCopyIsClean(c *mpi.Comm, buf []float32) {
+	mpi.Send(c, 1, tagA, buf)
+	buf[0] = 1
+}
+
+// ReacquireIsClean mirrors compositing: release, then rebind from the pool.
+func ReacquireIsClean(fb *render.Framebuffer) *render.Framebuffer {
+	fb.Release()
+	fb = render.AcquireFramebuffer(8, 8)
+	return fb
+}

@@ -1,0 +1,31 @@
+// Package regress pins the two buffer-recycling bug classes that PR 1's
+// dynamic pool tests guard (render's TestAcquireFramebufferReuseIsCleared
+// and compositing's TestCompositeBufferReuseNoAliasing): had either slipped
+// in, the ownership rule would have caught it statically at build time
+// rather than probabilistically at run time.
+package regress
+
+import (
+	"gosensei/internal/mpi"
+	"gosensei/internal/render"
+)
+
+const tagRound = 910
+
+// FramebufferAliasing is the use-after-Release aliasing bug: the released
+// framebuffer may already be handed to a concurrent acquirer, so reading it
+// races with the next render step.
+func FramebufferAliasing(fb *render.Framebuffer) []uint8 {
+	fb.Release()
+	return fb.Color // want ownership
+}
+
+// SendOwnedReuse is the zero-copy reuse bug: after SendOwned the receiver
+// unpacks the buffer concurrently; writing it corrupts the message in
+// flight.
+func SendOwnedReuse(c *mpi.Comm, pack []float32) {
+	mpi.SendOwned(c, 1, tagRound, pack)
+	for i := range pack { // want ownership
+		pack[i] = 0 // want ownership
+	}
+}

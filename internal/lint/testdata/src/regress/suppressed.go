@@ -1,0 +1,28 @@
+package regress
+
+import (
+	"gosensei/internal/mpi"
+	"gosensei/internal/render"
+)
+
+// The same two bug shapes with written-reason suppressions: the fixture
+// both proves the rule fires on PR 1's bug classes (regress.go) and that an
+// intentional, documented exception stays buildable (this file).
+
+// FramebufferAliasingSuppressed is FramebufferAliasing with the finding
+// acknowledged in writing.
+func FramebufferAliasingSuppressed(fb *render.Framebuffer) []uint8 {
+	fb.Release()
+	//lint:ignore ownership regression fixture: demonstrates the use-after-Release aliasing PR 1's pool tests guard
+	return fb.Color
+}
+
+// SendOwnedReuseSuppressed is SendOwnedReuse with both findings
+// acknowledged in writing.
+func SendOwnedReuseSuppressed(c *mpi.Comm, pack []float32) {
+	mpi.SendOwned(c, 1, tagRound, pack)
+	//lint:ignore ownership regression fixture: demonstrates the SendOwned reuse bug class
+	for i := range pack {
+		pack[i] = 0 //lint:ignore ownership regression fixture: writing a sent buffer corrupts the message in flight
+	}
+}

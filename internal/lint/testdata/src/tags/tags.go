@@ -1,0 +1,32 @@
+// Package tags exercises the mpi-tag-hygiene rule: raw integer literals as
+// message tags outside internal/mpi.
+package tags
+
+import "gosensei/internal/mpi"
+
+const tagData = 700
+
+// tagOf derives tags from a named base: allowed.
+func tagOf(axis int) int { return tagData + axis }
+
+func LiteralSend(c *mpi.Comm, buf []float64) {
+	mpi.Send(c, 1, 7, buf) // want mpi-tag-hygiene
+}
+
+func LiteralRecv(c *mpi.Comm) {
+	_, _, _ = mpi.Recv[float64](c, 0, 7) // want mpi-tag-hygiene
+}
+
+func LiteralSendOwned(c *mpi.Comm, buf []float64) {
+	mpi.SendOwned(c, 1, (9), buf) // want mpi-tag-hygiene
+}
+
+func LiteralSendRecv(c *mpi.Comm, buf []float64) {
+	_, _ = mpi.SendRecv(c, 1, tagData, buf, 1, 11) // want mpi-tag-hygiene
+}
+
+func NamedIsClean(c *mpi.Comm, buf []float64) {
+	mpi.Send(c, 1, tagData, buf)
+	mpi.Send(c, 1, tagOf(2), buf)
+	_, _, _ = mpi.Recv[float64](c, 0, mpi.AnyTag)
+}

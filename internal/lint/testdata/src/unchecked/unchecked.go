@@ -1,0 +1,64 @@
+// Package unchecked exercises the unchecked-close rule: dropped Close,
+// Flush, and Write errors in an I/O writer package.
+package unchecked
+
+import (
+	"bufio"
+	"bytes"
+	"hash/crc32"
+	"os"
+)
+
+// DroppedClose loses the error where a buffered write failure surfaces.
+func DroppedClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Close() // want unchecked-close
+	return nil
+}
+
+// DeferredClose drops the error just as silently as a bare call.
+func DeferredClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want unchecked-close
+	_, err = f.Write(data)
+	return err
+}
+
+// DroppedWriteAndFlush ignores short writes and flush failures.
+func DroppedWriteAndFlush(w *bufio.Writer, data []byte) {
+	w.Write(data) // want unchecked-close
+	w.Flush()     // want unchecked-close
+}
+
+// CheckedClose handles every error path; `_ =` is the sanctioned explicit
+// drop when an earlier error already wins.
+func CheckedClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// InMemoryIsClean: bytes.Buffer and hash writers never fail, so dropping
+// their results is fine.
+func InMemoryIsClean(data []byte) uint32 {
+	var buf bytes.Buffer
+	buf.Write(data)
+	h := crc32.NewIEEE()
+	h.Write(data)
+	return h.Sum32()
+}

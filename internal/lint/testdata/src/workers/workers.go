@@ -1,0 +1,73 @@
+// Package workers exercises the worker-independence rule: parallel.For and
+// MapChunks bodies and chunking must not depend on the worker count.
+package workers
+
+import "gosensei/internal/parallel"
+
+// Config mirrors the render specs that carry a worker count.
+type Config struct {
+	Workers int
+	N       int
+}
+
+// CaptureArg captures the workers argument directly in the body.
+func CaptureArg(workers, n int, out []int) {
+	parallel.For(workers, n, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = workers // want worker-independence
+		}
+	})
+}
+
+// CaptureDerived captures a variable data-flow-connected to the count.
+func CaptureDerived(cfg Config, out []int) {
+	w := cfg.Workers
+	stride := w * 2
+	parallel.For(w, cfg.N, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = stride // want worker-independence
+		}
+	})
+}
+
+// GrainFromWorkers derives the chunk size from the worker count, so chunk
+// boundaries move with the thread budget.
+func GrainFromWorkers(workers, n int, out []int) {
+	parallel.For(workers, n, n/workers, func(lo, hi int) { // want worker-independence
+		for i := lo; i < hi; i++ {
+			out[i] = i
+		}
+	})
+}
+
+// SelectorPath flags cfg.Workers in the body without banning cfg itself:
+// cfg.N stays usable.
+func SelectorPath(cfg Config, out []int) {
+	parallel.For(cfg.Workers, cfg.N, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = cfg.N + cfg.Workers // want worker-independence
+		}
+	})
+}
+
+// Clean depends only on the problem size.
+func Clean(cfg Config, out []float64) {
+	parallel.For(cfg.Workers, cfg.N, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = float64(i) * 0.5
+		}
+	})
+}
+
+// CleanMapChunks returns per-chunk partials in chunk order; the result of
+// the call itself is worker-independent by contract and must not taint vals.
+func CleanMapChunks(cfg Config, vals []float64) []float64 {
+	parts := parallel.MapChunks(cfg.Workers, len(vals), 64, func(_, lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += vals[i]
+		}
+		return s
+	})
+	return parts
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RuleUncheckedClose flags dropped errors from Close/Flush/Write on the I/O
+// writer packages. The paper's I/O-cost experiments (Sec. 4's VTK
+// multi-file and ADIOS paths) are only meaningful if written bytes actually
+// reach storage: a Close error on a buffered file is the last chance to
+// learn a write was lost, and `defer f.Close()` on a file being written
+// silently discards exactly that. An explicit `_ = f.Close()` on an
+// already-failing path is allowed — the drop is visible and greppable.
+const RuleUncheckedClose = "unchecked-close"
+
+// droppedErrorMethods are the method names whose dropped errors are
+// findings.
+var droppedErrorMethods = map[string]bool{"Close": true, "Flush": true, "Write": true, "Sync": true}
+
+// UncheckedCloseAnalyzer builds the unchecked-close rule.
+func UncheckedCloseAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: RuleUncheckedClose,
+		Doc:  "forbid dropping Close/Flush/Write errors in the I/O writer packages",
+		Run:  runUncheckedClose,
+	}
+}
+
+func runUncheckedClose(p *Pass) {
+	if !pkgInScope(p.Pkg.Path, p.Cfg.IOWriterPkgs) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			kind := ""
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call, kind = s.Call, "defer "
+			case *ast.GoStmt:
+				call, kind = s.Call, "go "
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !droppedErrorMethods[sel.Sel.Name] {
+				return true
+			}
+			if !returnsError(p.Pkg.Info, call) {
+				return true
+			}
+			if isInMemorySink(p.Pkg.Info, sel.X) {
+				return true // bytes.Buffer/strings.Builder writes cannot fail
+			}
+			p.Reportf(call.Pos(), "%s%s.%s() error dropped; on the I/O path a lost error means silently lost bytes (check it, or `_ =` it on an already-failing path)", kind, exprText(sel.X), sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's (possibly multi-valued) result
+// includes a final error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// isInMemorySink reports whether the receiver is a *bytes.Buffer,
+// *strings.Builder, or hash.Hash variant — in-memory accumulators whose
+// Write methods are documented to never return an error.
+func isInMemorySink(info *types.Info, recv ast.Expr) bool {
+	tv, ok := info.Types[recv]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch {
+	case pkg == "bytes" && name == "Buffer":
+		return true
+	case pkg == "strings" && name == "Builder":
+		return true
+	case pkg == "hash" && (name == "Hash" || name == "Hash32" || name == "Hash64"):
+		return true
+	}
+	return false
+}
+
+// exprText renders simple receiver expressions for messages; anything
+// complex degrades to its outermost identifier.
+func exprText(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprText(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprText(v.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return "(" + exprText(v.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprText(v.X)
+	case *ast.IndexExpr:
+		return exprText(v.X) + "[...]"
+	default:
+		return "x"
+	}
+}

@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// RuleWorkerIndependence flags parallel.For/MapChunks invocations whose
+// results could depend on the worker count: the body closure captures the
+// workers argument (or a variable data-flow-connected to it), or the n/grain
+// chunking arguments mention it. Chunk boundaries and per-chunk work must be
+// functions of the problem size only, or output stops being byte-identical
+// across thread budgets — the invariant the determinism test suite checks
+// dynamically at 1/2/8 workers.
+const RuleWorkerIndependence = "worker-independence"
+
+// WorkerIndependenceAnalyzer builds the worker-independence rule.
+func WorkerIndependenceAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: RuleWorkerIndependence,
+		Doc:  "forbid parallel.For/MapChunks bodies and chunking from depending on the worker count",
+		Run:  runWorkerIndependence,
+	}
+}
+
+func runWorkerIndependence(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkWorkerCalls(p, fn.Body)
+		}
+	}
+}
+
+// checkWorkerCalls inspects one function body for parallel.For/MapChunks
+// calls and validates each against the assignments preceding it.
+func checkWorkerCalls(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := calleeFromPkg(p.Pkg.Info, call, p.Cfg.ParallelPkg)
+		if !ok || (name != "For" && name != "MapChunks") || len(call.Args) != 4 {
+			return true
+		}
+		forbidden := workerTaintSet(p, body, call)
+		if len(forbidden) == 0 {
+			return true
+		}
+		// n and grain define the chunk boundaries; they must not mention the
+		// worker count at all.
+		for _, arg := range []struct {
+			i    int
+			name string
+		}{{1, "n"}, {2, "grain"}} {
+			if key, pos := firstMention(p, call.Args[arg.i], forbidden); key != "" {
+				p.Reportf(pos, "parallel.%s %s argument depends on the worker count (%s); chunk boundaries must be a function of the problem size only", name, arg.name, key)
+			}
+		}
+		if lit, ok := call.Args[3].(*ast.FuncLit); ok {
+			if key, pos := firstMention(p, lit.Body, forbidden); key != "" {
+				p.Reportf(pos, "parallel.%s body captures the worker count (%s); chunk results must be byte-identical at any worker count", name, key)
+			}
+		}
+		return true
+	})
+}
+
+// taintKey names one worker-count-carrying value: a bare variable
+// ("v:<id>") or a selector path rooted at a variable ("v:<id>.Field").
+// Paths keep `spec.Workers` forbidden without banning every use of `spec`.
+type taintKey = string
+
+// workerTaintSet seeds taint from the call's workers argument, then closes
+// it over the enclosing function's assignments in both directions: values
+// assigned FROM a tainted value are worker-derived, and values that flow
+// INTO a tainted variable carry the worker count too.
+func workerTaintSet(p *Pass, body *ast.BlockStmt, call *ast.CallExpr) map[taintKey]bool {
+	forbidden := map[taintKey]bool{}
+	for _, k := range mentionKeys(p, call.Args[0]) {
+		forbidden[k] = true
+	}
+	if len(forbidden) == 0 {
+		return forbidden
+	}
+	type edge struct{ lhs, rhs []taintKey }
+	var edges []edge
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == call {
+			// Assignments inside the call (its body literal) are what the
+			// mention scan judges; they must not create taint edges, or the
+			// report would name the written output instead of the captured
+			// worker count.
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			// The result of a parallel.For/MapChunks call is worker-
+			// independent by contract (that is the invariant this rule
+			// enforces), so `parts := parallel.MapChunks(workers, ...)` must
+			// not create a taint edge from its own arguments to parts.
+			e := edge{lhs: mentionKeys(p, as.Lhs[i]), rhs: mentionKeysOutsideParallel(p, as.Rhs[i])}
+			if len(e.lhs) > 0 && len(e.rhs) > 0 {
+				edges = append(edges, e)
+			}
+		}
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if anyKey(forbidden, e.rhs) && !allKeys(forbidden, e.lhs) {
+				for _, k := range e.lhs {
+					forbidden[k] = true
+				}
+				changed = true
+			}
+			if anyKey(forbidden, e.lhs) && !allKeys(forbidden, e.rhs) {
+				for _, k := range e.rhs {
+					forbidden[k] = true
+				}
+				changed = true
+			}
+		}
+	}
+	return forbidden
+}
+
+func anyKey(set map[taintKey]bool, ks []taintKey) bool {
+	for _, k := range ks {
+		if set[k] {
+			return true
+		}
+	}
+	return false
+}
+
+func allKeys(set map[taintKey]bool, ks []taintKey) bool {
+	for _, k := range ks {
+		if !set[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// mentionKeysOutsideParallel is mentionKeys minus any subtree that is a
+// parallel.For/MapChunks call, whose value is worker-independent.
+func mentionKeysOutsideParallel(p *Pass, n ast.Node) []taintKey {
+	var keys []taintKey
+	seen := map[taintKey]bool{}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if name, ok := calleeFromPkg(p.Pkg.Info, call, p.Cfg.ParallelPkg); ok && (name == "For" || name == "MapChunks") {
+				return false
+			}
+		}
+		switch m := m.(type) {
+		case *ast.SelectorExpr:
+			if k := selectorKey(p, m); k != "" {
+				if !seen[k] {
+					seen[k] = true
+					keys = append(keys, k)
+				}
+				return false
+			}
+		case *ast.Ident:
+			if k := varKey(p, m); k != "" && !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// mentionKeys extracts the taint keys an expression mentions: every
+// variable identifier, plus every selector chain rooted at one. For a chain
+// only the path key is produced — mentioning spec.Workers does not mention
+// bare spec.
+func mentionKeys(p *Pass, n ast.Node) []taintKey {
+	var keys []taintKey
+	seen := map[taintKey]bool{}
+	add := func(k taintKey) {
+		if k != "" && !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SelectorExpr:
+			if k := selectorKey(p, m); k != "" {
+				add(k)
+				return false // consumed the whole chain
+			}
+			return true
+		case *ast.Ident:
+			add(varKey(p, m))
+		}
+		return true
+	})
+	return keys
+}
+
+// varKey returns the key of a variable identifier, "" otherwise.
+func varKey(p *Pass, id *ast.Ident) taintKey {
+	obj := p.Pkg.Info.Uses[id]
+	if obj == nil {
+		obj = p.Pkg.Info.Defs[id]
+	}
+	if v, ok := obj.(*types.Var); ok && !v.IsField() {
+		return "v:" + strconv.Itoa(int(v.Pos()))
+	}
+	return ""
+}
+
+// selectorKey returns the path key of an ident-rooted field chain like
+// spec.Workers or s.cfg.Workers, "" when the chain is not ident-rooted.
+func selectorKey(p *Pass, sel *ast.SelectorExpr) taintKey {
+	var fields []string
+	e := ast.Expr(sel)
+	for {
+		s, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		fields = append([]string{s.Sel.Name}, fields...)
+		e = s.X
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	root := varKey(p, id)
+	if root == "" {
+		return ""
+	}
+	k := root
+	for _, f := range fields {
+		k += "." + f
+	}
+	return k
+}
+
+// firstMention returns the first forbidden key mentioned under n (with its
+// position), or "".
+func firstMention(p *Pass, n ast.Node, forbidden map[taintKey]bool) (taintKey, token.Pos) {
+	var hitKey taintKey
+	var hitPos token.Pos
+	ast.Inspect(n, func(m ast.Node) bool {
+		if hitKey != "" {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.SelectorExpr:
+			if k := selectorKey(p, m); k != "" {
+				if forbidden[k] {
+					hitKey, hitPos = renderKey(p, m), m.Pos()
+				}
+				return false
+			}
+			return true
+		case *ast.Ident:
+			if k := varKey(p, m); k != "" && forbidden[k] {
+				hitKey, hitPos = m.Name, m.Pos()
+			}
+		}
+		return true
+	})
+	return hitKey, hitPos
+}
+
+// renderKey prints a selector chain as source-ish text for the message.
+func renderKey(p *Pass, sel *ast.SelectorExpr) string {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name + "." + sel.Sel.Name
+	}
+	if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+		return renderKey(p, inner) + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}

@@ -180,9 +180,11 @@ func encodeStripe(fb *Framebuffer, first bool, yLo, yHi, level int) pngStripe {
 		comp.Write([]byte{0x78, 0x9c})
 	}
 	fw := getFlateWriter(comp, level)
+	//lint:ignore unchecked-close flate writes into comp, a bytes.Buffer whose Write never fails
 	fw.Write(filt.Bytes())
 	// Flush ends the fragment with a byte-aligned sync marker and no final
 	// bit, which is what makes the fragments concatenable.
+	//lint:ignore unchecked-close flate flushes into comp, a bytes.Buffer whose Write never fails
 	fw.Flush()
 	putFlateWriter(fw, level)
 	return pngStripe{filt: filt, comp: comp}
