@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build vet fmt-check lint test bench bench-smoke race cover experiments examples clean
+.PHONY: all check build vet fmt-check lint test bench bench-smoke fabric-smoke race cover experiments examples clean
 
 all: build vet lint test
 
-check: build vet fmt-check lint test race bench-smoke
+check: build vet fmt-check lint test race bench-smoke fabric-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ bench:
 # the benchmark harness without paying for stable timings.
 bench-smoke:
 	$(GO) test -run XXX -bench 'Fig3OscillatorKernel|RasterizeMesh|Tab2PNGEncode1080p|AblationCompositing|HistogramBinning' -benchtime=1x -benchmem .
+
+# The wire end to end under the race detector: staging fan-in, backpressure,
+# endpoint restart, and the two-OS-process TCP deployment.
+fabric-smoke:
+	$(GO) test -race -count=1 -run 'TestClientHubStagingFanIn|TestClientBackpressure|TestClientRidesOutEndpointRestart' ./internal/fabric/
+	$(GO) test -count=1 -run 'TestCmdEndpointTwoProcessTCP|TestCmdEndpointReconnect' .
 
 cover:
 	$(GO) test -cover ./...

@@ -5,13 +5,25 @@
 //
 // In the original, writer and endpoint are two separate binaries connected
 // over the interconnect; FlexPath even allows reconnecting a recompiled
-// endpoint mid-run. Here the fabric is in-process, so this command launches
-// both groups as two concurrent "executables" in one process — the code on
-// each side is exactly what two separate binaries would run.
+// endpoint mid-run. This command supports both deployments:
 //
-// Example:
+//   - Default: both groups run as two concurrent "executables" in one
+//     process, staged over the in-process loopback wire.
+//   - Two processes: start the analysis side with -listen host:port, then
+//     the simulation side with -connect host:port. The groups talk real
+//     TCP — framed, checksummed, credit flow controlled — and produce the
+//     same analysis output as the in-process run.
+//
+// The two-process deployment survives an endpoint restart mid-run: writers
+// buffer unacknowledged steps (bounded by -queue-depth), redial with
+// backoff inside -retry-window, and retransmit. -kill-after simulates the
+// failure for testing.
+//
+// Examples:
 //
 //	endpoint -ranks 8 -steps 20 -workload catalyst-slice -outdir ./frames
+//	endpoint -listen 127.0.0.1:9917 -ranks 4 -steps 10        # terminal 1
+//	endpoint -connect 127.0.0.1:9917 -ranks 4 -steps 10       # terminal 2
 package main
 
 import (
@@ -19,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"gosensei/internal/adios"
 	"gosensei/internal/analysis"
@@ -30,94 +43,139 @@ import (
 	"gosensei/internal/oscillator"
 )
 
+// options carries the parsed flags to the mode runners.
+type options struct {
+	ranks, cells, steps, depth int
+	workload, outdir           string
+	bins, window               int
+	listen, connect            string
+	killAfter                  int
+	retryWindow                time.Duration
+}
+
 func main() {
-	var (
-		ranks    = flag.Int("ranks", 4, "writer (and endpoint) group size")
-		cells    = flag.Int("cells", 32, "global cells per axis")
-		steps    = flag.Int("steps", 10, "time steps")
-		depth    = flag.Int("queue-depth", 1, "FlexPath staging queue depth")
-		workload = flag.String("workload", "histogram", "histogram | autocorrelation | catalyst-slice")
-		outdir   = flag.String("outdir", "", "image output directory (catalyst-slice)")
-		bins     = flag.Int("bins", 10, "histogram bins")
-		window   = flag.Int("window", 10, "autocorrelation window")
-	)
+	var o options
+	flag.IntVar(&o.ranks, "ranks", 4, "writer (and endpoint) group size")
+	flag.IntVar(&o.cells, "cells", 32, "global cells per axis")
+	flag.IntVar(&o.steps, "steps", 10, "time steps")
+	flag.IntVar(&o.depth, "queue-depth", 1, "FlexPath staging queue depth")
+	flag.StringVar(&o.workload, "workload", "histogram", "histogram | autocorrelation | catalyst-slice")
+	flag.StringVar(&o.outdir, "outdir", "", "image output directory (catalyst-slice)")
+	flag.IntVar(&o.bins, "bins", 10, "histogram bins")
+	flag.IntVar(&o.window, "window", 10, "autocorrelation window")
+	flag.StringVar(&o.listen, "listen", "", "run only the endpoint group, serving TCP on host:port")
+	flag.StringVar(&o.connect, "connect", "", "run only the writer group, staging to a -listen endpoint")
+	flag.IntVar(&o.killAfter, "kill-after", 0, "with -listen: exit(3) after this many executed steps (failure injection)")
+	flag.DurationVar(&o.retryWindow, "retry-window", 15*time.Second, "with -connect: how long writers ride out a dead endpoint")
 	flag.Parse()
 
-	fabric := adios.NewFabric(*ranks, *depth)
-	simCfg := oscillator.Config{
-		GlobalCells: [3]int{*cells, *cells, *cells},
-		DT:          0.05,
-		Steps:       *steps,
-		Oscillators: oscillator.DefaultDeck(float64(*cells)),
+	switch {
+	case o.listen != "" && o.connect != "":
+		fatal(fmt.Errorf("-listen and -connect are mutually exclusive"))
+	case o.listen != "":
+		runListen(o)
+	case o.connect != "":
+		runConnect(o)
+	default:
+		runLocal(o)
 	}
+}
 
-	var wg sync.WaitGroup
-	var writerErr, endpointErr error
-	var res *adios.EndpointResult
-	var hist *analysis.Histogram
+// simConfig builds the oscillator deck shared by every mode.
+func simConfig(o options) oscillator.Config {
+	return oscillator.Config{
+		GlobalCells: [3]int{o.cells, o.cells, o.cells},
+		DT:          0.05,
+		Steps:       o.steps,
+		Oscillators: oscillator.DefaultDeck(float64(o.cells)),
+	}
+}
 
-	wg.Add(2)
-	go func() { // the "simulation executable"
-		defer wg.Done()
-		writerErr = mpi.Run(*ranks, func(c *mpi.Comm) error {
-			sim, err := oscillator.NewSim(c, simCfg, nil)
-			if err != nil {
+// runWriters drives the simulation group over any staging transport.
+func runWriters(o options, t adios.Transport) error {
+	simCfg := simConfig(o)
+	return mpi.Run(o.ranks, func(c *mpi.Comm) error {
+		sim, err := oscillator.NewSim(c, simCfg, nil)
+		if err != nil {
+			return err
+		}
+		w := adios.NewWriter(c, t)
+		b := core.NewBridge(c, nil, nil)
+		b.AddAnalysis("adios", w)
+		d := oscillator.NewDataAdaptor(sim)
+		for i := 0; i < simCfg.Steps; i++ {
+			if err := sim.Step(); err != nil {
 				return err
 			}
-			w := adios.NewWriter(c, &adios.FlexPathTransport{Fabric: fabric})
-			b := core.NewBridge(c, nil, nil)
-			b.AddAnalysis("adios", w)
-			d := oscillator.NewDataAdaptor(sim)
-			for i := 0; i < simCfg.Steps; i++ {
-				if err := sim.Step(); err != nil {
-					return err
-				}
-				d.Update()
-				if _, err := b.Execute(d); err != nil {
-					return err
-				}
+			d.Update()
+			if _, err := b.Execute(d); err != nil {
+				return err
 			}
-			return b.Finalize()
-		})
-	}()
-	go func() { // the "endpoint executable"
-		defer wg.Done()
-		res, endpointErr = adios.RunEndpoint(fabric, func(b *core.Bridge) error {
-			switch *workload {
-			case "histogram":
-				h := analysis.NewHistogram(b.Comm, "data", grid.CellData, *bins)
-				if b.Comm.Rank() == 0 {
-					hist = h
-				}
-				b.AddAnalysis("histogram", h)
-			case "autocorrelation":
-				b.AddAnalysis("autocorrelation",
-					analysis.NewAutocorrelation(b.Comm, "data", grid.CellData, *window, 3))
-			case "catalyst-slice":
-				a := catalyst.NewSliceAdaptor(b.Comm, catalyst.Options{
-					ArrayName: "data", Assoc: grid.CellData,
-					Width: 480, Height: 270,
-					SliceAxis: 2, SliceCoord: float64(*cells) / 2,
-					OutputDir: *outdir,
-				})
-				a.Registry = b.Registry
-				b.AddAnalysis("catalyst", a)
-			default:
-				return fmt.Errorf("unknown workload %q", *workload)
-			}
-			return nil
-		})
-	}()
-	wg.Wait()
-	if writerErr != nil {
-		fatal(writerErr)
-	}
-	if endpointErr != nil {
-		fatal(endpointErr)
-	}
+		}
+		return b.Finalize()
+	})
+}
 
+// workloadConfigure returns the endpoint bridge configuration for the
+// selected analysis; hist receives rank 0's histogram for the final report.
+func workloadConfigure(o options, hist **analysis.Histogram) func(b *core.Bridge) error {
+	return func(b *core.Bridge) error {
+		switch o.workload {
+		case "histogram":
+			h := analysis.NewHistogram(b.Comm, "data", grid.CellData, o.bins)
+			if b.Comm.Rank() == 0 {
+				*hist = h
+			}
+			b.AddAnalysis("histogram", h)
+		case "autocorrelation":
+			b.AddAnalysis("autocorrelation",
+				analysis.NewAutocorrelation(b.Comm, "data", grid.CellData, o.window, 3))
+		case "catalyst-slice":
+			a := catalyst.NewSliceAdaptor(b.Comm, catalyst.Options{
+				ArrayName: "data", Assoc: grid.CellData,
+				Width: 480, Height: 270,
+				SliceAxis: 2, SliceCoord: float64(o.cells) / 2,
+				OutputDir: o.outdir,
+			})
+			a.Registry = b.Registry
+			b.AddAnalysis("catalyst", a)
+		default:
+			return fmt.Errorf("unknown workload %q", o.workload)
+		}
+		// Failure injection: die after the configured number of executed
+		// steps, before RunEndpoint releases them — the writers must
+		// retransmit to a restarted endpoint.
+		if o.killAfter > 0 {
+			b.AddAnalysis("failure-injection", &killer{after: o.killAfter})
+		}
+		return nil
+	}
+}
+
+// killer is the failure-injection analysis: it rides after the real
+// workload in the bridge, so the step's analysis ran but its credits were
+// not yet released when the process dies.
+type killer struct{ after, seen int }
+
+// Execute implements core.AnalysisAdaptor.
+func (k *killer) Execute(core.DataAdaptor) (bool, error) {
+	k.seen++
+	if k.seen >= k.after {
+		fmt.Printf("endpoint: injected failure after %d steps\n", k.seen)
+		os.Exit(3)
+	}
+	return true, nil
+}
+
+// Finalize implements core.AnalysisAdaptor.
+func (k *killer) Finalize() error { return nil }
+
+// report prints the endpoint-side summary shared by the local and listen
+// modes. The histogram block is printed last so byte-for-byte comparisons
+// across deployment modes can anchor on it.
+func report(o options, res *adios.EndpointResult, hist *analysis.Histogram) {
 	fmt.Printf("flexpath: %d writer/%d endpoint ranks, %d steps staged, workload %s\n",
-		*ranks, *ranks, res.Steps, *workload)
+		o.ranks, o.ranks, res.Steps, o.workload)
 	reg := res.Registries[0]
 	fmt.Printf("endpoint init: %s, decode total: %s\n",
 		metrics.FormatSeconds(reg.Timer("endpoint::initialize").Total().Seconds()),
@@ -129,6 +187,74 @@ func main() {
 			fmt.Printf("  [%8.3f, %8.3f) %d\n", lo, hi, c)
 		}
 	}
+}
+
+// runLocal runs both groups in one process over the loopback wire — the
+// original single-binary demonstration.
+func runLocal(o options) {
+	fabric := adios.NewFabric(o.ranks, o.depth)
+
+	var wg sync.WaitGroup
+	var writerErr, endpointErr error
+	var res *adios.EndpointResult
+	var hist *analysis.Histogram
+
+	wg.Add(2)
+	go func() { // the "simulation executable"
+		defer wg.Done()
+		writerErr = runWriters(o, &adios.FlexPathTransport{Fabric: fabric})
+	}()
+	go func() { // the "endpoint executable"
+		defer wg.Done()
+		res, endpointErr = adios.RunEndpoint(fabric, workloadConfigure(o, &hist))
+	}()
+	wg.Wait()
+	if writerErr != nil {
+		fatal(writerErr)
+	}
+	if endpointErr != nil {
+		fatal(endpointErr)
+	}
+	report(o, res, hist)
+}
+
+// runListen is the analysis executable of the two-process deployment: it
+// serves the staging fabric on TCP and consumes until every writer's EOS.
+func runListen(o options) {
+	f, err := adios.ListenFabric("tcp", o.listen, o.ranks, o.ranks, o.depth)
+	if err != nil {
+		fatal(err)
+	}
+	// The bound address (the OS picks the port for ":0") — the writer
+	// process and the smoke tests parse this line.
+	fmt.Printf("fabric: listening on %s\n", f.Addr())
+	var hist *analysis.Histogram
+	res, err := adios.RunEndpoint(f, workloadConfigure(o, &hist))
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	report(o, res, hist)
+}
+
+// runConnect is the simulation executable of the two-process deployment:
+// the writer group stages every step to the -listen endpoint over TCP.
+func runConnect(o options) {
+	t, err := adios.DialWire(adios.WireOptions{
+		Network: "tcp", Addr: o.connect,
+		Writers: o.ranks, Readers: o.ranks, Depth: o.depth,
+		RetryWindow: o.retryWindow,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := runWriters(o, t); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("writer: %d ranks staged %d steps to %s over tcp\n", o.ranks, o.steps, o.connect)
+	fmt.Printf("wire: %s\n", t.Stats().Summary())
 }
 
 func fatal(err error) {

@@ -1,11 +1,14 @@
 package gosensei
 
 import (
+	"bufio"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildTool compiles one cmd into a shared temp dir (cached per test run).
@@ -73,6 +76,135 @@ func TestCmdEndpointSmoke(t *testing.T) {
 	}
 	if !strings.Contains(out, "final histogram") {
 		t.Fatalf("histogram missing:\n%s", out)
+	}
+}
+
+// startListener launches an endpoint process with -listen 127.0.0.1:0 (or
+// a fixed addr), parses the bound address from its stdout, and returns the
+// command, the address, and a channel that yields the full output when the
+// process exits.
+func startListener(t *testing.T, bin, addr string, extra ...string) (*exec.Cmd, string, <-chan string) {
+	t.Helper()
+	args := append([]string{"-listen", addr}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = t.TempDir()
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start listener: %v", err)
+	}
+	r := bufio.NewReader(stdout)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		_ = cmd.Process.Kill()
+		t.Fatalf("read listen line: %v (got %q)", err, line)
+	}
+	const marker = "fabric: listening on "
+	if !strings.HasPrefix(line, marker) {
+		_ = cmd.Process.Kill()
+		t.Fatalf("unexpected first line %q", line)
+	}
+	bound := strings.TrimSpace(strings.TrimPrefix(line, marker))
+	out := make(chan string, 1)
+	go func() {
+		rest, _ := io.ReadAll(r)
+		_ = cmd.Wait()
+		out <- line + string(rest)
+	}()
+	return cmd, bound, out
+}
+
+// histogramBlock extracts output from "final histogram" onward — the
+// deployment-independent part of the endpoint report (timings above it
+// differ run to run).
+func histogramBlock(t *testing.T, out string) string {
+	t.Helper()
+	i := strings.Index(out, "final histogram")
+	if i < 0 {
+		t.Fatalf("no final histogram in output:\n%s", out)
+	}
+	return out[i:]
+}
+
+// TestCmdEndpointTwoProcessTCP runs the writer and endpoint groups as two
+// real OS processes over TCP and requires the analysis output to be
+// byte-identical to the in-process loopback run — the §4.1.4 deployment
+// with the wire underneath.
+func TestCmdEndpointTwoProcessTCP(t *testing.T) {
+	bin := buildTool(t, "endpoint")
+	shape := []string{"-ranks", "2", "-cells", "12", "-steps", "3", "-workload", "histogram", "-queue-depth", "2"}
+
+	inProc := run(t, bin, shape...)
+
+	_, addr, out := startListener(t, bin, "127.0.0.1:0", shape...)
+	writer := run(t, bin, append([]string{"-connect", addr}, shape...)...)
+	if !strings.Contains(writer, "staged 3 steps") {
+		t.Fatalf("writer output wrong:\n%s", writer)
+	}
+	var epOut string
+	select {
+	case epOut = <-out:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("endpoint process did not exit")
+	}
+	if got, want := histogramBlock(t, epOut), histogramBlock(t, inProc); got != want {
+		t.Fatalf("two-process histogram differs from in-process:\n--- tcp ---\n%s--- loopback ---\n%s", got, want)
+	}
+}
+
+// TestCmdEndpointReconnect kills the endpoint process mid-run, restarts it
+// on the same port, and requires the writers to ride the outage out —
+// retransmitting unacknowledged steps — with the final histogram identical
+// to an undisturbed run.
+func TestCmdEndpointReconnect(t *testing.T) {
+	bin := buildTool(t, "endpoint")
+	shape := []string{"-ranks", "2", "-cells", "12", "-steps", "4", "-workload", "histogram", "-queue-depth", "2"}
+
+	clean := run(t, bin, shape...)
+
+	doomed, addr, doomedOut := startListener(t, bin, "127.0.0.1:0",
+		append([]string{"-kill-after", "2"}, shape...)...)
+	writerDone := make(chan string, 1)
+	writerErr := make(chan error, 1)
+	go func() {
+		cmd := exec.Command(bin, append([]string{"-connect", addr, "-retry-window", "60s"}, shape...)...)
+		cmd.Dir = t.TempDir()
+		o, err := cmd.CombinedOutput()
+		writerDone <- string(o)
+		writerErr <- err
+	}()
+
+	// Wait for the injected failure, then restart the endpoint on the SAME
+	// port while the writer process is mid-run.
+	select {
+	case o := <-doomedOut:
+		if !strings.Contains(o, "injected failure") {
+			t.Fatalf("first endpoint did not fail as injected:\n%s", o)
+		}
+	case <-time.After(60 * time.Second):
+		_ = doomed.Process.Kill()
+		t.Fatalf("first endpoint never exited")
+	}
+	_, _, out2 := startListener(t, bin, addr, shape...)
+
+	wo := <-writerDone
+	if err := <-writerErr; err != nil {
+		t.Fatalf("writer did not survive the endpoint restart: %v\n%s", err, wo)
+	}
+	if !strings.Contains(wo, "reconnects 2") {
+		t.Fatalf("writer reported no reconnects:\n%s", wo)
+	}
+	var epOut string
+	select {
+	case epOut = <-out2:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("restarted endpoint never exited")
+	}
+	if got, want := histogramBlock(t, epOut), histogramBlock(t, clean); got != want {
+		t.Fatalf("post-reconnect histogram differs from clean run:\n--- reconnect ---\n%s--- clean ---\n%s", got, want)
 	}
 }
 

@@ -112,6 +112,16 @@ func DecodeStep(data []byte) (*grid.ImageData, int, float64, error) {
 	for i := range ext {
 		ext[i] = int(int64(get64()))
 	}
+	// Plausibility bounds before the extent flows into any analysis: axes
+	// may be empty (hi == lo-1) but not inverted, and no axis spans more
+	// points than the largest configuration this reproduction stages.
+	const maxAxisPoints = 1 << 24
+	for axis := 0; axis < 3; axis++ {
+		lo, hi := ext[2*axis], ext[2*axis+1]
+		if hi < lo-1 || hi-lo >= maxAxisPoints {
+			return nil, 0, 0, fmt.Errorf("adios: implausible extent %v", ext)
+		}
+	}
 	img := grid.NewImageData(ext)
 	for i := range img.Origin {
 		img.Origin[i] = getF()
@@ -147,8 +157,14 @@ func DecodeStep(data []byte) (*grid.ImageData, int, float64, error) {
 		if err != nil {
 			return nil, 0, 0, fmt.Errorf("adios: truncated array %d header: %w", i, err)
 		}
-		if comps <= 0 || tuples < 0 || comps*tuples*8 > r.Len() {
+		// Overflow-safe shape check: comps*tuples*8 must not exceed the
+		// remaining bytes, validated by division so a adversarial shape
+		// cannot wrap the product and slip past into the allocation.
+		if comps <= 0 || tuples < 0 {
 			return nil, 0, 0, fmt.Errorf("adios: implausible array %d shape %dx%d", i, tuples, comps)
+		}
+		if tuples > 0 && comps > r.Len()/8/tuples {
+			return nil, 0, 0, fmt.Errorf("adios: array %d shape %dx%d exceeds remaining %d bytes", i, tuples, comps, r.Len())
 		}
 		vals := make([]float64, comps*tuples)
 		for j := range vals {

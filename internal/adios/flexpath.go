@@ -4,66 +4,151 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gosensei/internal/core"
+	"gosensei/internal/fabric"
 	"gosensei/internal/grid"
 	"gosensei/internal/metrics"
 	"gosensei/internal/mpi"
 )
 
 // Message is one staged unit: a serialized step from one writer rank, or an
-// end-of-stream marker.
+// end-of-stream marker. Release acknowledges consumption back to the
+// producing writer, returning its flow-control credit; the endpoint calls
+// it only after the analysis executed the step, so a message a dying
+// endpoint never acknowledged is retransmitted by the writer.
 type Message struct {
 	Payload []byte
 	Step    int
 	Writer  int // producing writer rank
 	EOS     bool
+	release func()
 }
 
-// Fabric is the FlexPath-like staging channel set connecting a group of N
-// writers to a group of M analysis readers. FlexPath "can support same-node,
+// Release returns the message's credit to its writer. Idempotent.
+func (m *Message) Release() {
+	if m.release != nil {
+		m.release()
+		m.release = nil
+	}
+}
+
+// Fabric is the FlexPath-like staging layer connecting a group of N writers
+// to a group of M analysis readers. FlexPath "can support same-node,
 // multi-node, or even multi-machine deployment configurations"; the paper's
 // Cori runs used the 1:1 hyperthread pairing (N == M), while in transit
 // deployments drain many simulation ranks into a smaller analysis
-// allocation (N > M). Writers map to readers in contiguous blocks; a bounded
-// queue per reader means a writer blocks in adios::analysis when its reader
-// has not kept up — the backpressure the paper's Fig. 8 timings include.
+// allocation (N > M). Writers map to readers in contiguous blocks.
+//
+// Since PR 3 the fabric is a real wire: every message crosses an
+// internal/fabric connection — length-prefixed CRC-checked frames under
+// credit flow control — whether the two groups share a process (the
+// "loopback" network, used by NewFabric/NewFabricNM) or sit in separate
+// OS processes connected over TCP (ListenFabric + DialWire). A writer
+// blocks in adios::analysis when its queue-depth credits are exhausted —
+// the backpressure the paper's Fig. 8 timings include — and the endpoint
+// releases a credit only after executing the step, so an endpoint restart
+// loses nothing.
 type Fabric struct {
-	nWriters int
-	chans    []chan Message
+	nWriters, nReaders, depth int
+	network, addr             string
+	hub                       *fabric.Hub
+	stats                     *fabric.Stats
+
+	mu      sync.Mutex
+	clients map[int]*fabric.Client
 }
 
-// NewFabric creates a 1:1 fabric for n writer/reader pairs with the given
-// queue depth (FlexPath's default behavior corresponds to depth 1).
+// loopbackSeq uniquifies in-process fabric names so independent fabrics
+// never collide on the loopback registry.
+var loopbackSeq atomic.Int64
+
+// NewFabric creates a 1:1 in-process fabric for n writer/reader pairs with
+// the given queue depth (FlexPath's default behavior corresponds to depth 1).
 func NewFabric(n, depth int) *Fabric {
 	return NewFabricNM(n, n, depth)
 }
 
-// NewFabricNM creates a fabric for nWriters producers and nReaders analysis
-// ranks. nWriters must be a positive multiple-or-remainder partition of
-// readers (any positive pair is allowed; writers map to reader
-// writer*nReaders/nWriters).
+// NewFabricNM creates an in-process fabric for nWriters producers and
+// nReaders analysis ranks (writers map to reader writer*nReaders/nWriters).
+// The staging traffic runs over the loopback wire — the same framing,
+// credit, and release code paths as a TCP deployment, deterministically.
 func NewFabricNM(nWriters, nReaders, depth int) *Fabric {
 	if nWriters <= 0 || nReaders <= 0 || depth <= 0 {
 		panic(fmt.Sprintf("adios: invalid fabric writers=%d readers=%d depth=%d", nWriters, nReaders, depth))
 	}
-	f := &Fabric{nWriters: nWriters, chans: make([]chan Message, nReaders)}
-	for i := range f.chans {
-		f.chans[i] = make(chan Message, depth)
+	name := fmt.Sprintf("adios/fabric-%d", loopbackSeq.Add(1))
+	f, err := ListenFabric("loopback", name, nWriters, nReaders, depth)
+	if err != nil {
+		panic(fmt.Sprintf("adios: %v", err))
 	}
 	return f
 }
 
+// ListenFabric creates the endpoint side of a fabric on an explicit
+// network/address — "tcp" with host:port for a two-process deployment (the
+// endpoint OS process listens; writers connect with DialWire), or
+// "loopback" with a unique name for in-process use. The returned fabric
+// accepts writer connections immediately.
+func ListenFabric(network, addr string, nWriters, nReaders, depth int) (*Fabric, error) {
+	if nWriters <= 0 || nReaders <= 0 || depth <= 0 || nWriters < nReaders {
+		return nil, fmt.Errorf("adios: invalid fabric writers=%d readers=%d depth=%d", nWriters, nReaders, depth)
+	}
+	lis, err := fabric.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	stats := &fabric.Stats{}
+	readTimeout := time.Duration(0)
+	if network != "loopback" {
+		readTimeout = 15 * time.Second
+	}
+	hub := fabric.NewHub(lis, fabric.HubOptions{
+		Writers: nWriters, Readers: nReaders, Depth: depth,
+		ReadTimeout: readTimeout, Stats: stats,
+	})
+	return &Fabric{
+		nWriters: nWriters, nReaders: nReaders, depth: depth,
+		network: network, addr: lis.Addr().String(),
+		hub: hub, stats: stats,
+		clients: map[int]*fabric.Client{},
+	}, nil
+}
+
+// Addr returns the address writers dial ("host:port" for tcp).
+func (f *Fabric) Addr() string { return f.addr }
+
+// Stats returns the endpoint-side wire counters.
+func (f *Fabric) Stats() *fabric.Stats { return f.stats }
+
+// Close drops every writer connection and stops accepting. Queued messages
+// remain receivable.
+func (f *Fabric) Close() error {
+	f.mu.Lock()
+	clients := make([]*fabric.Client, 0, len(f.clients))
+	for _, c := range f.clients {
+		clients = append(clients, c)
+	}
+	f.clients = map[int]*fabric.Client{}
+	f.mu.Unlock()
+	for _, c := range clients {
+		_ = c.Close()
+	}
+	return f.hub.Close()
+}
+
 // Pairs returns the reader count (for the 1:1 case, the pair count).
-func (f *Fabric) Pairs() int { return len(f.chans) }
+func (f *Fabric) Pairs() int { return f.nReaders }
 
 // Writers returns the writer-group size.
 func (f *Fabric) Writers() int { return f.nWriters }
 
 // ReaderOf returns the analysis rank that consumes a writer's stream.
 func (f *Fabric) ReaderOf(writer int) int {
-	return writer * len(f.chans) / f.nWriters
+	return fabric.ReaderOf(writer, f.nWriters, f.nReaders)
 }
 
 // WritersOf returns the writer ranks feeding one reader.
@@ -77,14 +162,54 @@ func (f *Fabric) WritersOf(reader int) []int {
 	return out
 }
 
-// send blocks until the destination reader has queue space.
-func (f *Fabric) send(writer int, m Message) {
-	m.Writer = writer
-	f.chans[f.ReaderOf(writer)] <- m
+// client returns (dialing lazily) the in-process wire client for a writer
+// rank. Heartbeats are disabled on loopback — an in-process pipe cannot
+// silently die, and determinism matters to the tests riding on it.
+func (f *Fabric) client(writer int) *fabric.Client {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.clients[writer]
+	if c == nil {
+		hb := time.Duration(0)
+		if f.network == "loopback" {
+			hb = -1
+		}
+		c = fabric.DialWriter(fabric.ClientOptions{
+			Network: f.network, Addr: f.addr,
+			Rank: writer, Writers: f.nWriters, Readers: f.nReaders, Depth: f.depth,
+			HeartbeatInterval: hb,
+		})
+		f.clients[writer] = c
+	}
+	return c
 }
 
-// recv blocks until some writer delivers a message for this reader.
-func (f *Fabric) recv(reader int) Message { return <-f.chans[reader] }
+// send blocks until the writer holds a queue-depth credit, then stages the
+// message over the wire.
+func (f *Fabric) send(writer int, m Message) error {
+	c := f.client(writer)
+	if m.EOS {
+		return c.SendEOS()
+	}
+	return c.Send(m.Step, m.Payload)
+}
+
+// messageOf converts a wire delivery into a staged message.
+func messageOf(d fabric.Delivery) Message {
+	return Message{
+		Payload: d.Payload,
+		Step:    d.Step,
+		Writer:  d.Writer,
+		EOS:     d.EOS,
+		release: d.Release,
+	}
+}
+
+// recv blocks until some writer delivers a message for this reader. The
+// caller owns the message's credit: call Release after consuming it.
+func (f *Fabric) recv(reader int) Message {
+	return messageOf(<-f.hub.Deliveries(reader))
+}
 
 // Transport is the ADIOS service interface: "only a tweak to the input
 // parameters is needed to swap methods". Both the staging and file
@@ -108,10 +233,10 @@ type FlexPathTransport struct {
 // Name implements Transport.
 func (t *FlexPathTransport) Name() string { return "flexpath" }
 
-// WriteStep implements Transport; it blocks on reader backpressure.
+// WriteStep implements Transport; it blocks on reader backpressure (the
+// writer's queue-depth credits exhausted).
 func (t *FlexPathTransport) WriteStep(rank int, payload []byte, step int) error {
-	t.Fabric.send(rank, Message{Payload: payload, Step: step})
-	return nil
+	return t.Fabric.send(rank, Message{Payload: payload, Step: step})
 }
 
 // Advance implements Transport: the writer group synchronizes metadata (a
@@ -125,10 +250,10 @@ func (t *FlexPathTransport) Advance(c *mpi.Comm, step int) error {
 	return mpi.Allreduce(c, meta, recv, mpi.OpMax)
 }
 
-// Close implements Transport.
+// Close implements Transport. It stages the end-of-stream marker without
+// waiting for the endpoint to consume it.
 func (t *FlexPathTransport) Close(rank int) error {
-	t.Fabric.send(rank, Message{EOS: true})
-	return nil
+	return t.Fabric.send(rank, Message{EOS: true})
 }
 
 // BPFileTransport writes one BP file per (step, rank) under Dir — the
@@ -339,14 +464,17 @@ func RunEndpoint(f *Fabric, configure func(b *core.Bridge) error) (*EndpointResu
 		}
 		writers := f.WritersOf(c.Rank())
 		type partial struct {
-			blocks map[int]*grid.ImageData
-			time   float64
+			blocks   map[int]*grid.ImageData
+			releases []func()
+			time     float64
 		}
 		pending := map[int]*partial{}
 		eos := 0
 		for eos < len(writers) {
 			msg := f.recv(c.Rank())
 			if msg.EOS {
+				// EOS carries no data to execute; acknowledge on receipt.
+				msg.Release()
 				eos++
 				continue
 			}
@@ -368,6 +496,7 @@ func RunEndpoint(f *Fabric, configure func(b *core.Bridge) error) (*EndpointResu
 				pending[st] = p
 			}
 			p.blocks[msg.Writer] = img
+			p.releases = append(p.releases, msg.Release)
 			p.time = tm
 			if len(p.blocks) < len(writers) {
 				continue
@@ -388,6 +517,12 @@ func RunEndpoint(f *Fabric, configure func(b *core.Bridge) error) (*EndpointResu
 			if _, err := b.Execute(da); err != nil {
 				return err
 			}
+			// Release-after-execute: only now are the step's credits
+			// returned to the writers, so an endpoint killed before this
+			// point never acknowledged the step and its writers retransmit.
+			for _, rel := range p.releases {
+				rel()
+			}
 			steps[c.Rank()]++
 		}
 		if len(pending) > 0 {
@@ -403,10 +538,13 @@ func RunEndpoint(f *Fabric, configure func(b *core.Bridge) error) (*EndpointResu
 }
 
 // DrainTimeout guards tests against a stuck fabric: it receives one message
-// with a timeout.
+// with a timeout, releasing its credit immediately (a drained message is by
+// definition consumed).
 func (f *Fabric) DrainTimeout(rank int, d time.Duration) (Message, error) {
 	select {
-	case m := <-f.chans[rank]:
+	case del := <-f.hub.Deliveries(rank):
+		m := messageOf(del)
+		m.Release()
 		return m, nil
 	case <-time.After(d):
 		return Message{}, fmt.Errorf("adios: no message within %v", d)

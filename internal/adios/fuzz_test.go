@@ -1,0 +1,68 @@
+package adios
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"gosensei/internal/array"
+	"gosensei/internal/grid"
+)
+
+// addTestField attaches a deterministic point-data array for fuzz seeds.
+func addTestField(img *grid.ImageData, name string, comps int) {
+	nx, ny, nz := img.Dims()
+	vals := make([]float64, nx*ny*nz*comps)
+	for i := range vals {
+		vals[i] = float64(i) * 0.5
+	}
+	img.Attributes(grid.PointData).Add(array.WrapAOS(name, comps, vals))
+}
+
+// FuzzDecode hammers the BP container decoder with arbitrary bytes:
+// truncated, corrupt, or adversarial inputs must return errors — never
+// panic — and must never allocate more than the input could plausibly
+// describe (an array's values are 8 bytes each, so total decoded tuples
+// are bounded by the input length).
+func FuzzDecode(f *testing.F) {
+	img := grid.NewImageData(grid.NewExtent3D(4, 3, 2))
+	addTestField(img, "pressure", 1)
+	addTestField(img, "velocity", 3)
+	valid := EncodeStep(img, 7, 0.25)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-9])
+	f.Add(valid[:11])
+
+	corrupt := append([]byte(nil), valid...)
+	corrupt[40] ^= 0xFF
+	f.Add(corrupt)
+
+	// A shape whose comps*tuples*8 product wraps int64.
+	overflow := append([]byte(nil), valid...)
+	// magic+version+extent+origin+spacing+step+time, then array count and
+	// the first array's name length/name/assoc precede its shape fields.
+	off := 4 + 4 + 6*8 + 3*8 + 3*8 + 8 + 8 + 4 + 4 + len("pressure") + 1
+	binary.LittleEndian.PutUint32(overflow[off:], 1<<31-1) // comps
+	binary.LittleEndian.PutUint64(overflow[off+4:], 1<<62) // tuples
+	f.Add(overflow)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, _, _, err := DecodeStep(data)
+		if err != nil {
+			if img != nil {
+				t.Fatalf("decode returned both data and error %v", err)
+			}
+			return
+		}
+		total := 0
+		for _, assoc := range []grid.Association{grid.PointData, grid.CellData} {
+			fd := img.Attributes(assoc)
+			for i := 0; i < fd.Len(); i++ {
+				a := fd.At(i)
+				total += a.Tuples() * a.Components()
+			}
+		}
+		if total*8 > len(data) {
+			t.Fatalf("decoded %d values (%d bytes) from a %d-byte input", total, total*8, len(data))
+		}
+	})
+}

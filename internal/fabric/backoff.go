@@ -1,0 +1,50 @@
+package fabric
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes reconnect delays: exponential growth from Base to Max
+// with multiplicative jitter drawn from a seeded source, so a writer group
+// whose endpoint died does not redial in lockstep, and so tests replaying
+// the same seed see the same schedule.
+type Backoff struct {
+	// Base is the first delay; Max caps the exponential growth.
+	Base, Max time.Duration
+	// Jitter in [0,1) scales each delay by a random factor in
+	// [1-Jitter, 1+Jitter).
+	Jitter float64
+	rng    *rand.Rand
+}
+
+// NewBackoff returns the fabric's default schedule (10ms base, 1s cap, 50%
+// jitter) seeded deterministically — seed with the writer rank so each
+// member of a group jitters differently but reproducibly.
+func NewBackoff(seed int64) *Backoff {
+	return &Backoff{
+		Base:   10 * time.Millisecond,
+		Max:    time.Second,
+		Jitter: 0.5,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Delay returns the wait before the given retry attempt (0-based).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := b.Base
+	for i := 0; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 && b.rng != nil {
+		f := 1 + b.Jitter*(2*b.rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	if d < 0 {
+		d = b.Base
+	}
+	return d
+}

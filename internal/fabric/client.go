@@ -1,0 +1,506 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrClientClosed is returned by operations on a closed Client.
+var ErrClientClosed = errors.New("fabric: client closed")
+
+// ClientOptions configures one writer-side connection to a staging endpoint.
+type ClientOptions struct {
+	// Network/Addr locate the endpoint ("tcp" + host:port, or "loopback" +
+	// name).
+	Network, Addr string
+	// Rank is this writer's rank; Writers/Readers/Depth are the group
+	// geometry the endpoint must agree with.
+	Rank, Writers, Readers, Depth int
+	// HeartbeatInterval paces keepalive probes; 0 selects 500ms, negative
+	// disables heartbeats (the loopback default — an in-process pipe cannot
+	// silently die).
+	HeartbeatInterval time.Duration
+	// ReadTimeout bounds silence from the endpoint before the connection is
+	// declared dead; 0 derives 8x the heartbeat interval (or no timeout when
+	// heartbeats are disabled).
+	ReadTimeout time.Duration
+	// RetryWindow bounds how long a disconnected writer keeps redialing
+	// before giving up — the ride-out budget for an endpoint restart.
+	// 0 selects 15s.
+	RetryWindow time.Duration
+	// Backoff schedules redial delays; nil seeds a default from Rank.
+	Backoff *Backoff
+	// Stats receives the connection's counters; nil allocates a private set.
+	Stats *Stats
+}
+
+// pendingFrame is one credit-consuming message awaiting release; it is the
+// retransmit unit after a reconnect.
+type pendingFrame struct {
+	typ     FrameType
+	seq     uint32
+	payload []byte
+}
+
+// advanceWait tracks one outstanding Advance round trip.
+type advanceWait struct {
+	step uint32
+	done chan struct{}
+}
+
+// Client is the writer side of the staging fabric. Send blocks when the
+// endpoint's queue depth is exhausted (credit flow control); a dead
+// connection is redialed with backoff and unreleased messages are
+// retransmitted, so the writer rides out an endpoint restart without
+// losing steps. All methods are safe for concurrent use, though the
+// staging writer protocol is sequential (Send*, Advance, then Drain/Close).
+type Client struct {
+	o           ClientOptions
+	hbInterval  time.Duration
+	readTimeout time.Duration
+	retryWindow time.Duration
+	backoff     *Backoff
+	stats       *Stats
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	conn      Conn
+	pending   []pendingFrame
+	nextSeq   uint32
+	credits   int
+	adv       *advanceWait
+	connected bool // a handshake has succeeded at least once
+	closed    bool
+	fatal     error
+	broken    chan struct{} // kicks the run loop when the conn dies
+
+	// wmu serializes conn writes and guards wscratch. It is never acquired
+	// while c.mu is held and c.mu is never held across a blocking
+	// conn.Write: the recv pump must always be able to take c.mu to process
+	// a Release, or a synchronous transport (net.Pipe) deadlocks — the
+	// endpoint blocks writing the Release we are not reading while we block
+	// writing the data it is not reading.
+	wmu      sync.Mutex
+	wscratch []byte
+}
+
+// DialWriter creates a client. Connection is lazy: the first Send/Advance
+// blocks until the handshake grants credits, and dial failures inside the
+// retry window are retried transparently.
+func DialWriter(o ClientOptions) *Client {
+	c := &Client{
+		o:           o,
+		hbInterval:  o.HeartbeatInterval,
+		readTimeout: o.ReadTimeout,
+		retryWindow: o.RetryWindow,
+		backoff:     o.Backoff,
+		stats:       o.Stats,
+		broken:      make(chan struct{}, 1),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if c.hbInterval == 0 {
+		c.hbInterval = 500 * time.Millisecond
+	}
+	if c.readTimeout == 0 && c.hbInterval > 0 {
+		c.readTimeout = 8 * c.hbInterval
+	}
+	if c.retryWindow == 0 {
+		c.retryWindow = 15 * time.Second
+	}
+	if c.backoff == nil {
+		c.backoff = NewBackoff(int64(o.Rank) + 1)
+	}
+	if c.stats == nil {
+		c.stats = &Stats{}
+	}
+	go c.run()
+	if c.hbInterval > 0 {
+		go c.heartbeatLoop()
+	}
+	return c
+}
+
+// Stats returns the client's counters.
+func (c *Client) Stats() *Stats { return c.stats }
+
+// Send stages one step's container. It blocks while the endpoint's queue
+// depth is exhausted (no credits) and returns only on a closed client or a
+// connection declared unrecoverable (retry window exhausted). The payload
+// is copied, so the caller may reuse its buffer.
+func (c *Client) Send(step int, container []byte) error {
+	p := AppendStepPayload(make([]byte, 0, 8+len(container)), step, container)
+	return c.sendMsg(FrameData, p)
+}
+
+// SendEOS stages the end-of-stream marker. Like a data message it consumes
+// a credit: EOS occupies a queue slot at the endpoint, as the in-process
+// channel fabric always modeled.
+func (c *Client) SendEOS() error {
+	return c.sendMsg(FrameEOS, nil)
+}
+
+func (c *Client) sendMsg(typ FrameType, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.credits == 0 && c.fatal == nil && !c.closed {
+		c.cond.Wait()
+	}
+	if c.fatal != nil {
+		return c.fatal
+	}
+	if c.closed {
+		return ErrClientClosed
+	}
+	c.credits--
+	c.nextSeq++
+	seq := c.nextSeq
+	c.pending = append(c.pending, pendingFrame{typ: typ, seq: seq, payload: payload})
+	if c.conn != nil {
+		// A write failure is not a Send failure: the message is pending and
+		// will be retransmitted after the reconnect.
+		_ = c.writeFrameLocked(typ, seq, payload)
+	}
+	return nil
+}
+
+// Advance publishes step metadata and waits for the endpoint's
+// acknowledgement — the adios::advance exchange of the paper's Fig. 8,
+// here a real round trip on the wire.
+func (c *Client) Advance(step int) error {
+	c.mu.Lock()
+	for c.adv != nil && c.fatal == nil && !c.closed {
+		c.cond.Wait()
+	}
+	if c.fatal != nil {
+		err := c.fatal
+		c.mu.Unlock()
+		return err
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	done := make(chan struct{})
+	c.adv = &advanceWait{step: uint32(step), done: done}
+	if c.conn != nil {
+		_ = c.writeFrameLocked(FrameAdvance, uint32(step), nil)
+	}
+	c.mu.Unlock()
+
+	timeout := c.retryWindow + c.readTimeout + 5*time.Second
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		c.mu.Lock()
+		err := c.fatal
+		c.mu.Unlock()
+		return err
+	case <-timer.C:
+		c.mu.Lock()
+		if c.adv != nil && c.adv.done == done {
+			c.adv = nil
+			c.cond.Broadcast()
+		}
+		c.mu.Unlock()
+		return fmt.Errorf("fabric: advance step %d not acknowledged within %v", step, timeout)
+	}
+}
+
+// Drain blocks until every sent message has been released by the endpoint
+// (consumed by the analysis), or the timeout expires.
+func (c *Client) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	wake := time.AfterFunc(timeout, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer wake.Stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.pending) > 0 {
+		if c.fatal != nil {
+			return c.fatal
+		}
+		if c.closed {
+			return fmt.Errorf("%w with %d unreleased messages", ErrClientClosed, len(c.pending))
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("fabric: drain timed out after %v with %d unreleased messages", timeout, len(c.pending))
+		}
+		c.cond.Wait()
+	}
+	return nil
+}
+
+// Pending reports the number of sent-but-unreleased messages (the
+// writer-side buffer an endpoint restart is ridden out with).
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Close tears the connection down. Messages not yet released are dropped;
+// call Drain first for a clean shutdown.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	if c.adv != nil {
+		close(c.adv.done)
+		c.adv = nil
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	select {
+	case c.broken <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// run is the connection-lifecycle loop: (re)establish, then wait for the
+// recv pump to report death, forever until closed or the retry window is
+// exhausted.
+func (c *Client) run() {
+	for {
+		c.mu.Lock()
+		if c.closed || c.fatal != nil {
+			c.mu.Unlock()
+			return
+		}
+		needConn := c.conn == nil
+		c.mu.Unlock()
+		if needConn {
+			if err := c.connect(); err != nil {
+				c.mu.Lock()
+				if c.fatal == nil {
+					c.fatal = err
+				}
+				if c.adv != nil {
+					close(c.adv.done)
+					c.adv = nil
+				}
+				c.cond.Broadcast()
+				c.mu.Unlock()
+				return
+			}
+		}
+		<-c.broken
+	}
+}
+
+// connect dials and handshakes inside the retry window, then installs the
+// connection: prune messages the endpoint already released, restore
+// credits, retransmit the rest, and start the recv pump.
+func (c *Client) connect() error {
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClientClosed
+		}
+		c.mu.Unlock()
+		conn, err := Dial(c.o.Network, c.o.Addr)
+		if err == nil {
+			var w Welcome
+			var fr *FrameReader
+			w, fr, err = DialHello(conn, Hello{
+				Role:    RoleWriter,
+				Rank:    uint32(c.o.Rank),
+				Writers: uint32(c.o.Writers),
+				Readers: uint32(c.o.Readers),
+				Depth:   uint32(c.o.Depth),
+			})
+			if err == nil {
+				c.install(conn, fr, w)
+				return nil
+			}
+			_ = conn.Close()
+		}
+		lastErr = err
+		if time.Since(start) >= c.retryWindow {
+			return fmt.Errorf("fabric: writer %d could not reach %s %s within %v: %w",
+				c.o.Rank, c.o.Network, c.o.Addr, c.retryWindow, lastErr)
+		}
+		time.Sleep(c.backoff.Delay(attempt))
+	}
+}
+
+func (c *Client) install(conn Conn, fr *FrameReader, w Welcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		_ = conn.Close()
+		return
+	}
+	// Prune everything the endpoint consumed before the connection dropped
+	// (its Welcome carries the cumulative released sequence).
+	for len(c.pending) > 0 && c.pending[0].seq <= w.Released {
+		c.pending = c.pending[1:]
+	}
+	c.credits = int(w.Credits) - len(c.pending)
+	if c.credits < 0 {
+		c.credits = 0
+	}
+	c.conn = conn
+	reconnect := c.connected
+	c.connected = true
+	if reconnect {
+		c.stats.Reconnects.Inc()
+	}
+	for _, p := range c.pending {
+		if err := c.writeFrameLocked(p.typ, p.seq, p.payload); err != nil {
+			break
+		}
+		if reconnect {
+			c.stats.Retransmits.Inc()
+		}
+	}
+	if c.adv != nil && c.conn != nil {
+		_ = c.writeFrameLocked(FrameAdvance, c.adv.step, nil)
+	}
+	go c.recvPump(conn, fr)
+	c.cond.Broadcast()
+}
+
+// writeFrameLocked encodes and writes one frame. c.mu must be held on
+// entry and is held again on return, but it is RELEASED around the
+// blocking write itself (see the wmu comment on Client): callers must not
+// assume state is unchanged across the call. Sequential callers (the
+// staging writer protocol) still see frames hit the wire in program
+// order. On a write failure the connection is declared broken (the run
+// loop redials).
+func (c *Client) writeFrameLocked(typ FrameType, seq uint32, payload []byte) error {
+	conn := c.conn
+	if conn == nil {
+		return fmt.Errorf("fabric: not connected")
+	}
+	deadline := 10 * time.Second
+	if c.readTimeout > deadline {
+		deadline = c.readTimeout
+	}
+	c.mu.Unlock()
+	c.wmu.Lock()
+	c.wscratch = AppendFrame(c.wscratch[:0], typ, seq, payload)
+	n := len(c.wscratch)
+	err := conn.SetWriteDeadline(time.Now().Add(deadline))
+	if err == nil {
+		_, err = conn.Write(c.wscratch)
+	}
+	c.wmu.Unlock()
+	c.mu.Lock()
+	if err != nil {
+		c.breakConnLocked(conn)
+		return err
+	}
+	c.stats.CountOut(n)
+	return nil
+}
+
+// breakConnLocked retires a dead connection and kicks the run loop;
+// c.mu must be held.
+func (c *Client) breakConnLocked(conn Conn) {
+	if conn != nil {
+		_ = conn.Close()
+	}
+	if c.conn == conn {
+		c.conn = nil
+	}
+	select {
+	case c.broken <- struct{}{}:
+	default:
+	}
+}
+
+// recvPump reads releases, advance acks, and heartbeat acks until the
+// connection dies.
+func (c *Client) recvPump(conn Conn, fr *FrameReader) {
+	for {
+		if c.readTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
+				break
+			}
+		}
+		typ, seq, payload, err := fr.Next()
+		if err != nil {
+			break
+		}
+		c.stats.CountIn(len(payload))
+		switch typ {
+		case FrameRelease:
+			c.handleRelease(seq)
+		case FrameAdvanceAck:
+			c.handleAdvanceAck(seq)
+		case FrameHeartbeatAck:
+			if len(payload) == 8 {
+				sent := int64(binary.LittleEndian.Uint64(payload))
+				c.stats.countHeartbeat(time.Duration(time.Now().UnixNano() - sent))
+			}
+		}
+	}
+	c.mu.Lock()
+	c.breakConnLocked(conn)
+	c.mu.Unlock()
+}
+
+// handleRelease frees every pending message up to the cumulative sequence,
+// returning their credits — this is what unblocks a backpressured Send.
+func (c *Client) handleRelease(upTo uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for len(c.pending) > 0 && c.pending[0].seq <= upTo {
+		c.pending = c.pending[1:]
+		n++
+	}
+	if n > 0 {
+		c.credits += n
+		c.cond.Broadcast()
+	}
+}
+
+func (c *Client) handleAdvanceAck(step uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.adv != nil && c.adv.step == step {
+		close(c.adv.done)
+		c.adv = nil
+		c.cond.Broadcast()
+	}
+}
+
+// heartbeatLoop probes the endpoint at the configured interval. The ack
+// carries the probe's timestamp back, yielding an RTT sample; sustained
+// silence trips the read deadline and forces a reconnect.
+func (c *Client) heartbeatLoop() {
+	t := time.NewTicker(c.hbInterval)
+	defer t.Stop()
+	for range t.C {
+		c.mu.Lock()
+		if c.closed || c.fatal != nil {
+			c.mu.Unlock()
+			return
+		}
+		if c.conn != nil {
+			var p [8]byte
+			binary.LittleEndian.PutUint64(p[:], uint64(time.Now().UnixNano()))
+			_ = c.writeFrameLocked(FrameHeartbeat, 0, p[:])
+		}
+		c.mu.Unlock()
+	}
+}

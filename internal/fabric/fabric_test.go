@@ -1,0 +1,421 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- framing ---
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("the staged container bytes")
+	frame := AppendFrame(nil, FrameData, 42, payload)
+	fr := NewFrameReader(bytes.NewReader(frame), 0)
+	typ, seq, got, err := fr.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if typ != FrameData || seq != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("got %s seq %d payload %q", typ, seq, got)
+	}
+	if _, _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("want clean EOF at frame boundary, got %v", err)
+	}
+}
+
+func TestFrameReaderReusesBuffer(t *testing.T) {
+	var stream []byte
+	stream = AppendFrame(stream, FrameData, 1, bytes.Repeat([]byte("a"), 1000))
+	stream = AppendFrame(stream, FrameData, 2, bytes.Repeat([]byte("b"), 500))
+	fr := NewFrameReader(bytes.NewReader(stream), 0)
+	_, _, p1, err := fr.Next()
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	first := &p1[0]
+	_, _, p2, err := fr.Next()
+	if err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	if &p2[0] != first {
+		t.Fatalf("payload buffer not reused across frames")
+	}
+}
+
+func TestFrameDecodeCorruption(t *testing.T) {
+	base := AppendFrame(nil, FrameData, 7, []byte("payload bytes"))
+
+	t.Run("flipped payload bit", func(t *testing.T) {
+		f := append([]byte(nil), base...)
+		f[frameHeaderSize+3] ^= 0x10
+		_, _, _, err := NewFrameReader(bytes.NewReader(f), 0).Next()
+		if !errors.Is(err, ErrFrameChecksum) {
+			t.Fatalf("want checksum error, got %v", err)
+		}
+	})
+	t.Run("flipped type bit", func(t *testing.T) {
+		f := append([]byte(nil), base...)
+		f[4] = byte(FrameEOS)
+		_, _, _, err := NewFrameReader(bytes.NewReader(f), 0).Next()
+		if !errors.Is(err, ErrFrameChecksum) {
+			t.Fatalf("want checksum error, got %v", err)
+		}
+	})
+	t.Run("invalid type", func(t *testing.T) {
+		f := append([]byte(nil), base...)
+		f[4] = 0xEE
+		_, _, _, err := NewFrameReader(bytes.NewReader(f), 0).Next()
+		if !errors.Is(err, ErrFrameType) {
+			t.Fatalf("want type error, got %v", err)
+		}
+	})
+	t.Run("oversized length", func(t *testing.T) {
+		f := append([]byte(nil), base...)
+		f[0], f[1], f[2], f[3] = 0xFF, 0xFF, 0xFF, 0x7F
+		_, _, _, err := NewFrameReader(bytes.NewReader(f), 1<<16).Next()
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("want too-large error, got %v", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		_, _, _, err := NewFrameReader(bytes.NewReader(base[:5]), 0).Next()
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("want unexpected EOF, got %v", err)
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		_, _, _, err := NewFrameReader(bytes.NewReader(base[:len(base)-4]), 0).Next()
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("want unexpected EOF, got %v", err)
+		}
+	})
+}
+
+// A truncated stream claiming a huge payload must not allocate the claimed
+// size: the reader grows its buffer only as bytes arrive.
+func TestFrameDecodeTruncationDoesNotOverAllocate(t *testing.T) {
+	f := AppendFrame(nil, FrameData, 1, bytes.Repeat([]byte("x"), 64))
+	f[0], f[1], f[2], f[3] = 0x00, 0x00, 0x00, 0x08 // claim 128 MiB
+	fr := NewFrameReader(bytes.NewReader(f), MaxPayload)
+	if _, _, _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want unexpected EOF, got %v", err)
+	}
+	if cap(fr.buf) > 2*growStep {
+		t.Fatalf("reader allocated %d bytes for a truncated stream", cap(fr.buf))
+	}
+}
+
+func TestSteerPayloadRoundTrip(t *testing.T) {
+	p := AppendSteerPayload(nil, "iso-value", 0.75)
+	name, value, err := DecodeSteerPayload(p)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if name != "iso-value" || value != 0.75 {
+		t.Fatalf("got %q=%v", name, value)
+	}
+	if _, _, err := DecodeSteerPayload(p[:len(p)-1]); err == nil {
+		t.Fatalf("truncated steer payload decoded")
+	}
+}
+
+// --- handshake ---
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	lis, err := Listen("loopback", t.Name())
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer func() { _ = lis.Close() }()
+	go func() {
+		conn, aerr := lis.Accept()
+		if aerr != nil {
+			return
+		}
+		// Hand-roll a hello with a bogus version.
+		h := appendHello(nil, Hello{Version: 99, Role: RoleWriter})
+		_, _ = conn.Write(AppendFrame(nil, FrameHello, 0, h))
+		_ = conn.Close()
+	}()
+	conn, err := Dial("loopback", t.Name())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, _, err := AcceptHello(conn); err == nil {
+		t.Fatalf("version 99 hello accepted")
+	}
+}
+
+// --- loopback registry ---
+
+func TestLoopbackDuplicateAndUnknown(t *testing.T) {
+	lis, err := Listen("loopback", t.Name())
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	if _, err := Listen("loopback", t.Name()); err == nil {
+		t.Fatalf("duplicate loopback name accepted")
+	}
+	if err := lis.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Name is free again after close — the endpoint-restart path.
+	lis2, err := Listen("loopback", t.Name())
+	if err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+	defer func() { _ = lis2.Close() }()
+	if _, err := Dial("loopback", "no-such-endpoint"); err == nil {
+		t.Fatalf("dial of unknown loopback name succeeded")
+	}
+}
+
+// --- backoff ---
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	a, b := NewBackoff(7), NewBackoff(7)
+	for i := 0; i < 12; i++ {
+		da, db := a.Delay(i), b.Delay(i)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da < 0 || da > time.Duration(1.5*float64(time.Second)) {
+			t.Fatalf("attempt %d: delay %v out of bounds", i, da)
+		}
+	}
+	if NewBackoff(1).Delay(0) == NewBackoff(2).Delay(0) &&
+		NewBackoff(1).Delay(1) == NewBackoff(2).Delay(1) &&
+		NewBackoff(1).Delay(2) == NewBackoff(2).Delay(2) {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+// --- client <-> hub ---
+
+// loopbackClient returns options for a deterministic in-process client:
+// heartbeats off, generous retry window.
+func loopbackClient(addr string, rank, writers, readers, depth int) ClientOptions {
+	return ClientOptions{
+		Network: "loopback", Addr: addr,
+		Rank: rank, Writers: writers, Readers: readers, Depth: depth,
+		HeartbeatInterval: -1,
+		RetryWindow:       10 * time.Second,
+	}
+}
+
+func startHub(t *testing.T, addr string, writers, readers, depth int) *Hub {
+	t.Helper()
+	lis, err := Listen("loopback", addr)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	return NewHub(lis, HubOptions{Writers: writers, Readers: readers, Depth: depth})
+}
+
+func TestClientHubStagingFanIn(t *testing.T) {
+	addr := t.Name()
+	hub := startHub(t, addr, 2, 1, 2)
+	defer func() { _ = hub.Close() }()
+
+	clients := []*Client{
+		DialWriter(loopbackClient(addr, 0, 2, 1, 2)),
+		DialWriter(loopbackClient(addr, 1, 2, 1, 2)),
+	}
+	for w, c := range clients {
+		for step := 0; step < 3; step++ {
+			payload := []byte(fmt.Sprintf("writer %d step %d", w, step))
+			if err := c.Send(step, payload); err != nil {
+				t.Fatalf("writer %d send step %d: %v", w, step, err)
+			}
+			if err := c.Advance(step); err != nil {
+				t.Fatalf("writer %d advance step %d: %v", w, step, err)
+			}
+			// Consume so depth 2 never blocks the loop.
+			d := <-hub.Deliveries(0)
+			want := fmt.Sprintf("writer %d step %d", d.Writer, d.Step)
+			if string(d.Payload) != want {
+				t.Fatalf("delivery %q, want %q", d.Payload, want)
+			}
+			d.Release()
+		}
+	}
+	if hub.Advanced() != 2 {
+		t.Fatalf("advanced = %d, want 2", hub.Advanced())
+	}
+	for w, c := range clients {
+		if err := c.SendEOS(); err != nil {
+			t.Fatalf("writer %d eos: %v", w, err)
+		}
+	}
+	eos := 0
+	for eos < 2 {
+		d := <-hub.Deliveries(0)
+		if !d.EOS {
+			t.Fatalf("unexpected non-EOS delivery from writer %d", d.Writer)
+		}
+		d.Release()
+		eos++
+	}
+	for w, c := range clients {
+		if err := c.Drain(5 * time.Second); err != nil {
+			t.Fatalf("writer %d drain: %v", w, err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("writer %d close: %v", w, err)
+		}
+	}
+}
+
+// With depth 1, a second Send must block until the endpoint releases the
+// first delivery — the FlexPath backpressure contract on the wire.
+func TestClientBackpressure(t *testing.T) {
+	addr := t.Name()
+	hub := startHub(t, addr, 1, 1, 1)
+	defer func() { _ = hub.Close() }()
+	c := DialWriter(loopbackClient(addr, 0, 1, 1, 1))
+	defer func() { _ = c.Close() }()
+
+	if err := c.Send(0, []byte("first")); err != nil {
+		t.Fatalf("send 0: %v", err)
+	}
+	var secondDone atomic.Bool
+	sent := make(chan error, 1)
+	go func() {
+		err := c.Send(1, []byte("second"))
+		secondDone.Store(true)
+		sent <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if secondDone.Load() {
+		t.Fatalf("second send completed while queue depth was exhausted")
+	}
+	d := <-hub.Deliveries(0)
+	d.Release()
+	if err := <-sent; err != nil {
+		t.Fatalf("second send: %v", err)
+	}
+	d = <-hub.Deliveries(0)
+	if string(d.Payload) != "second" {
+		t.Fatalf("delivery %q", d.Payload)
+	}
+	d.Release()
+}
+
+// Kill the endpoint with unreleased messages in flight, restart it at the
+// same address, and verify the writer retransmits and the run completes —
+// the endpoint-reconnect-mid-run property.
+func TestClientRidesOutEndpointRestart(t *testing.T) {
+	addr := t.Name()
+	hub := startHub(t, addr, 1, 1, 2)
+	c := DialWriter(loopbackClient(addr, 0, 1, 1, 2))
+	defer func() { _ = c.Close() }()
+
+	// Step 0 is delivered and released (consumed by the analysis).
+	if err := c.Send(0, []byte("step 0")); err != nil {
+		t.Fatalf("send 0: %v", err)
+	}
+	d := <-hub.Deliveries(0)
+	d.Release()
+	if err := c.Drain(5 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Step 1 is delivered but never executed; the endpoint dies holding it.
+	if err := c.Send(1, []byte("step 1")); err != nil {
+		t.Fatalf("send 1: %v", err)
+	}
+	<-hub.Deliveries(0) // accepted, not released
+	if err := hub.Close(); err != nil {
+		t.Fatalf("hub close: %v", err)
+	}
+
+	// The restarted endpoint has fresh state; the writer must retransmit
+	// the unreleased step and continue.
+	hub2 := startHub(t, addr, 1, 1, 2)
+	defer func() { _ = hub2.Close() }()
+	d = <-hub2.Deliveries(0)
+	if d.Step != 1 || string(d.Payload) != "step 1" {
+		t.Fatalf("after restart got step %d payload %q", d.Step, d.Payload)
+	}
+	d.Release()
+	if err := c.Send(2, []byte("step 2")); err != nil {
+		t.Fatalf("send 2 after restart: %v", err)
+	}
+	d = <-hub2.Deliveries(0)
+	if d.Step != 2 {
+		t.Fatalf("step %d after restart, want 2", d.Step)
+	}
+	d.Release()
+	if err := c.Drain(5 * time.Second); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+	if got := c.Stats().Reconnects.Value(); got != 1 {
+		t.Errorf("reconnects = %d, want 1", got)
+	}
+	if got := c.Stats().Retransmits.Value(); got < 1 {
+		t.Errorf("retransmits = %d, want >= 1", got)
+	}
+}
+
+// A writer whose endpoint never comes back must fail Send once the retry
+// window is exhausted, not hang forever.
+func TestClientRetryWindowExhausted(t *testing.T) {
+	c := DialWriter(ClientOptions{
+		Network: "loopback", Addr: "never-listening",
+		Rank: 0, Writers: 1, Readers: 1, Depth: 1,
+		HeartbeatInterval: -1,
+		RetryWindow:       100 * time.Millisecond,
+		Backoff:           &Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+	})
+	defer func() { _ = c.Close() }()
+	done := make(chan error, 1)
+	go func() { done <- c.Send(0, []byte("doomed")) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("send succeeded with no endpoint")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("send did not fail after the retry window expired")
+	}
+}
+
+// Heartbeats over TCP: RTT samples accumulate and the mean is positive.
+func TestHeartbeatRTTOverTCP(t *testing.T) {
+	lis, err := Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	hub := NewHub(lis, HubOptions{Writers: 1, Readers: 1, Depth: 1})
+	defer func() { _ = hub.Close() }()
+	c := DialWriter(ClientOptions{
+		Network: "tcp", Addr: lis.Addr().String(),
+		Rank: 0, Writers: 1, Readers: 1, Depth: 1,
+		HeartbeatInterval: 5 * time.Millisecond,
+		RetryWindow:       5 * time.Second,
+	})
+	defer func() { _ = c.Close() }()
+	if err := c.Send(0, []byte("tcp step")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	d := <-hub.Deliveries(0)
+	if string(d.Payload) != "tcp step" {
+		t.Fatalf("delivery %q", d.Payload)
+	}
+	d.Release()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Heartbeats.Value() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d heartbeats completed", c.Stats().Heartbeats.Value())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if c.Stats().MeanHeartbeatRTT() <= 0 {
+		t.Fatalf("mean heartbeat RTT = %v", c.Stats().MeanHeartbeatRTT())
+	}
+}

@@ -1,0 +1,214 @@
+package fabric
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Wire frame layout (all little-endian):
+//
+//	offset 0  uint32  payload length
+//	offset 4  uint8   frame type
+//	offset 5  uint32  sequence number
+//	offset 9  uint32  CRC-32 (IEEE) over type, sequence, and payload
+//	offset 13 payload
+//
+// The CRC covers everything after the length so a flipped bit anywhere in
+// the frame body is detected; the length itself is validated by bounds
+// (MaxPayload) before any allocation, so a corrupt length cannot make the
+// reader over-allocate.
+const (
+	frameHeaderSize = 13
+
+	// MaxPayload bounds a single frame. A staged step for the largest
+	// configurations in the paper's scaling study is tens of MB; 256 MiB
+	// leaves headroom without letting a corrupt length exhaust memory.
+	MaxPayload = 256 << 20
+)
+
+// FrameType discriminates the staging protocol's messages.
+type FrameType uint8
+
+// The protocol's frame types. Hello/Welcome open a connection; Data/EOS
+// carry the stream (and consume credits); Advance publishes step metadata;
+// Release returns credits; Steer carries viewer steering; Heartbeat pairs
+// bound failure detection and measure RTT.
+const (
+	FrameHello FrameType = 1 + iota
+	FrameWelcome
+	FrameData
+	FrameEOS
+	FrameAdvance
+	FrameAdvanceAck
+	FrameRelease
+	FrameSteer
+	FrameHeartbeat
+	FrameHeartbeatAck
+
+	frameTypeMax = FrameHeartbeatAck
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (t FrameType) String() string {
+	names := [...]string{"invalid", "hello", "welcome", "data", "eos", "advance",
+		"advance-ack", "release", "steer", "heartbeat", "heartbeat-ack"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("frame(%d)", uint8(t))
+}
+
+// Frame decode errors, distinguishable by errors.Is.
+var (
+	ErrFrameTooLarge = errors.New("fabric: frame exceeds payload limit")
+	ErrFrameChecksum = errors.New("fabric: frame checksum mismatch")
+	ErrFrameType     = errors.New("fabric: invalid frame type")
+)
+
+// AppendFrame appends one encoded frame to dst and returns the extended
+// slice. The destination buffer is reusable across frames (dst[:0]), which
+// keeps the per-frame send path allocation-free once the scratch buffer has
+// grown to the working payload size.
+func AppendFrame(dst []byte, typ FrameType, seq uint32, payload []byte) []byte {
+	le := binary.LittleEndian
+	var hdr [frameHeaderSize]byte
+	le.PutUint32(hdr[0:4], uint32(len(payload)))
+	hdr[4] = byte(typ)
+	le.PutUint32(hdr[5:9], seq)
+	crc := crc32.ChecksumIEEE(hdr[4:9])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	le.PutUint32(hdr[9:13], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// FrameReader decodes frames from a byte stream, reusing one payload
+// buffer across calls. It never allocates more than maxPayload bytes and
+// never trusts the claimed length further than the bytes that actually
+// arrive: the payload buffer grows in bounded steps as data is read, so a
+// truncated stream with a huge claimed length cannot balloon memory.
+type FrameReader struct {
+	r   *bufio.Reader
+	buf []byte
+	max int
+}
+
+// NewFrameReader wraps r. maxPayload <= 0 selects MaxPayload.
+func NewFrameReader(r io.Reader, maxPayload int) *FrameReader {
+	if maxPayload <= 0 {
+		maxPayload = MaxPayload
+	}
+	return &FrameReader{r: bufio.NewReaderSize(r, 64<<10), max: maxPayload}
+}
+
+// growStep bounds each payload-buffer growth increment.
+const growStep = 1 << 20
+
+// Next reads one frame. The returned payload slice is valid only until the
+// following Next call. Truncation yields io.ErrUnexpectedEOF (or io.EOF at
+// a clean frame boundary); corruption yields ErrFrameChecksum,
+// ErrFrameTooLarge, or ErrFrameType.
+func (f *FrameReader) Next() (FrameType, uint32, []byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(f.r, hdr[0:1]); err != nil {
+		return 0, 0, nil, err // clean EOF between frames stays io.EOF
+	}
+	if _, err := io.ReadFull(f.r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, err
+	}
+	le := binary.LittleEndian
+	length := int(le.Uint32(hdr[0:4]))
+	typ := FrameType(hdr[4])
+	seq := le.Uint32(hdr[5:9])
+	wantCRC := le.Uint32(hdr[9:13])
+	if typ == 0 || typ > frameTypeMax {
+		return 0, 0, nil, fmt.Errorf("%w: %d", ErrFrameType, hdr[4])
+	}
+	if length > f.max {
+		return 0, 0, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, length, f.max)
+	}
+	// Read the payload in bounded increments, growing the reusable buffer
+	// only as bytes actually arrive.
+	read := 0
+	for read < length {
+		n := length - read
+		if n > growStep {
+			n = growStep
+		}
+		if read+n > len(f.buf) {
+			if read+n <= cap(f.buf) {
+				f.buf = f.buf[:read+n]
+			} else {
+				grown := make([]byte, read+n)
+				copy(grown, f.buf[:read])
+				f.buf = grown
+			}
+		}
+		if _, err := io.ReadFull(f.r, f.buf[read:read+n]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, 0, nil, err
+		}
+		read += n
+	}
+	payload := f.buf[:length]
+	crc := crc32.ChecksumIEEE(hdr[4:9])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if crc != wantCRC {
+		return 0, 0, nil, fmt.Errorf("%w: %s frame seq %d", ErrFrameChecksum, typ, seq)
+	}
+	return typ, seq, payload, nil
+}
+
+// Control-payload codecs. These are the staging control messages the frame
+// types carry; all fixed-width fields are little-endian.
+
+// AppendStepPayload prefixes a staged BP container with its step number —
+// the FrameData payload layout.
+func AppendStepPayload(dst []byte, step int, container []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(int64(step)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, container...)
+}
+
+// SplitStepPayload reverses AppendStepPayload. The returned container
+// aliases p.
+func SplitStepPayload(p []byte) (step int, container []byte, err error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("fabric: data payload too short (%d bytes)", len(p))
+	}
+	return int(int64(binary.LittleEndian.Uint64(p[:8]))), p[8:], nil
+}
+
+// AppendSteerPayload encodes a steering command — the FrameSteer payload.
+func AppendSteerPayload(dst []byte, name string, value float64) []byte {
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], uint16(len(name)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, name...)
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], math.Float64bits(value))
+	return append(dst, v[:]...)
+}
+
+// DecodeSteerPayload reverses AppendSteerPayload.
+func DecodeSteerPayload(p []byte) (name string, value float64, err error) {
+	if len(p) < 2 {
+		return "", 0, fmt.Errorf("fabric: steer payload too short (%d bytes)", len(p))
+	}
+	n := int(binary.LittleEndian.Uint16(p[:2]))
+	if len(p) != 2+n+8 {
+		return "", 0, fmt.Errorf("fabric: steer payload length %d, want %d", len(p), 2+n+8)
+	}
+	return string(p[2 : 2+n]), math.Float64frombits(binary.LittleEndian.Uint64(p[2+n:])), nil
+}

@@ -1,0 +1,62 @@
+package fabric
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzFrameDecode hammers the frame decoder with arbitrary byte streams:
+// whatever arrives, it must return frames or errors — never panic — and a
+// truncated stream with an inflated claimed length must not balloon the
+// payload buffer past what actually arrived.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(AppendFrame(nil, FrameData, 1, []byte("a staged step")))
+	f.Add(AppendFrame(nil, FrameEOS, 9, nil))
+	f.Add(AppendFrame(nil, FrameSteer, 0, AppendSteerPayload(nil, "iso", 0.5)))
+	two := AppendFrame(nil, FrameAdvance, 3, nil)
+	f.Add(AppendFrame(two, FrameRelease, 3, nil))
+	trunc := AppendFrame(nil, FrameData, 2, bytes.Repeat([]byte("x"), 256))
+	f.Add(trunc[:len(trunc)-17])
+	corrupt := AppendFrame(nil, FrameData, 4, []byte("to be corrupted"))
+	corrupt[len(corrupt)-1] ^= 0xFF
+	f.Add(corrupt)
+	huge := AppendFrame(nil, FrameData, 5, nil)
+	huge[0], huge[1], huge[2], huge[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	f.Add(huge)
+
+	const maxPayload = 1 << 16
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		fr := NewFrameReader(bytes.NewReader(stream), maxPayload)
+		for {
+			typ, _, payload, err := fr.Next()
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF &&
+					len(err.Error()) == 0 {
+					t.Fatalf("empty error text")
+				}
+				break
+			}
+			if typ == 0 || typ > frameTypeMax {
+				t.Fatalf("decoder returned invalid type %d without error", typ)
+			}
+			if len(payload) > maxPayload {
+				t.Fatalf("payload %d exceeds configured max %d", len(payload), maxPayload)
+			}
+			// Control payloads must decode or error, never panic.
+			switch typ {
+			case FrameData:
+				_, _, _ = SplitStepPayload(payload)
+			case FrameSteer:
+				_, _, _ = DecodeSteerPayload(payload)
+			case FrameHello:
+				_, _ = decodeHello(payload)
+			case FrameWelcome:
+				_, _ = decodeWelcome(payload)
+			}
+		}
+		if cap(fr.buf) > maxPayload {
+			t.Fatalf("reader buffer grew to %d, past the %d max", cap(fr.buf), maxPayload)
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// ProtocolVersion is bumped on any incompatible wire change; both halves of
+// the handshake carry it and a mismatch refuses the connection — the
+// FlexPath property that a recompiled endpoint can rejoin a run only if it
+// still speaks the writer's protocol.
+const ProtocolVersion = 1
+
+// Role identifies what a dialing peer is.
+type Role uint8
+
+// The peer roles. Writers stage steps under credit flow control; viewers
+// attach to a live hub for frames and steering.
+const (
+	RoleWriter Role = 1
+	RoleViewer Role = 2
+)
+
+// Hello is the dialer's half of the handshake: who it is and, for writers,
+// the group geometry it believes it is joining. The acceptor validates the
+// geometry so a misconfigured writer fails loudly at connect rather than
+// silently misrouting blocks.
+type Hello struct {
+	Version uint32
+	Role    Role
+	Rank    uint32
+	Writers uint32
+	Readers uint32
+	Depth   uint32
+}
+
+// Welcome is the acceptor's half: the credit grant and, after a reconnect,
+// the highest sequence number already released so the dialer can prune its
+// retransmit buffer.
+type Welcome struct {
+	Version  uint32
+	Credits  uint32
+	Released uint32
+}
+
+const (
+	helloPayloadLen   = 4 + 1 + 4 + 4 + 4 + 4
+	welcomePayloadLen = 4 + 4 + 4
+)
+
+// appendHello encodes a Hello payload.
+func appendHello(dst []byte, h Hello) []byte {
+	var b [helloPayloadLen]byte
+	le := binary.LittleEndian
+	le.PutUint32(b[0:4], h.Version)
+	b[4] = byte(h.Role)
+	le.PutUint32(b[5:9], h.Rank)
+	le.PutUint32(b[9:13], h.Writers)
+	le.PutUint32(b[13:17], h.Readers)
+	le.PutUint32(b[17:21], h.Depth)
+	return append(dst, b[:]...)
+}
+
+// decodeHello reverses appendHello.
+func decodeHello(p []byte) (Hello, error) {
+	if len(p) != helloPayloadLen {
+		return Hello{}, fmt.Errorf("fabric: hello payload %d bytes, want %d", len(p), helloPayloadLen)
+	}
+	le := binary.LittleEndian
+	return Hello{
+		Version: le.Uint32(p[0:4]),
+		Role:    Role(p[4]),
+		Rank:    le.Uint32(p[5:9]),
+		Writers: le.Uint32(p[9:13]),
+		Readers: le.Uint32(p[13:17]),
+		Depth:   le.Uint32(p[17:21]),
+	}, nil
+}
+
+// appendWelcome encodes a Welcome payload.
+func appendWelcome(dst []byte, w Welcome) []byte {
+	var b [welcomePayloadLen]byte
+	le := binary.LittleEndian
+	le.PutUint32(b[0:4], w.Version)
+	le.PutUint32(b[4:8], w.Credits)
+	le.PutUint32(b[8:12], w.Released)
+	return append(dst, b[:]...)
+}
+
+// decodeWelcome reverses appendWelcome.
+func decodeWelcome(p []byte) (Welcome, error) {
+	if len(p) != welcomePayloadLen {
+		return Welcome{}, fmt.Errorf("fabric: welcome payload %d bytes, want %d", len(p), welcomePayloadLen)
+	}
+	le := binary.LittleEndian
+	return Welcome{
+		Version:  le.Uint32(p[0:4]),
+		Credits:  le.Uint32(p[4:8]),
+		Released: le.Uint32(p[8:12]),
+	}, nil
+}
+
+// handshakeTimeout bounds each half of the exchange.
+const handshakeTimeout = 5 * time.Second
+
+// DialHello sends Hello and waits for Welcome on a fresh connection — the
+// dialer's half of the handshake. The Version field is filled in. The
+// returned FrameReader must be reused for subsequent reads on c (it may
+// have buffered past the handshake).
+func DialHello(c Conn, h Hello) (Welcome, *FrameReader, error) {
+	h.Version = ProtocolVersion
+	if err := c.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
+		return Welcome{}, nil, fmt.Errorf("fabric: handshake deadline: %w", err)
+	}
+	frame := AppendFrame(nil, FrameHello, 0, appendHello(nil, h))
+	if _, err := c.Write(frame); err != nil {
+		return Welcome{}, nil, fmt.Errorf("fabric: send hello: %w", err)
+	}
+	fr := NewFrameReader(c, MaxPayload)
+	typ, _, payload, err := fr.Next()
+	if err != nil {
+		return Welcome{}, nil, fmt.Errorf("fabric: await welcome: %w", err)
+	}
+	if typ != FrameWelcome {
+		return Welcome{}, nil, fmt.Errorf("fabric: expected welcome, got %s", typ)
+	}
+	w, err := decodeWelcome(payload)
+	if err != nil {
+		return Welcome{}, nil, err
+	}
+	if w.Version != ProtocolVersion {
+		return Welcome{}, nil, fmt.Errorf("fabric: protocol version mismatch: peer %d, ours %d", w.Version, ProtocolVersion)
+	}
+	if err := c.SetDeadline(time.Time{}); err != nil {
+		return Welcome{}, nil, fmt.Errorf("fabric: clear deadline: %w", err)
+	}
+	return w, fr, nil
+}
+
+// AcceptHello reads the Hello from a freshly accepted connection. The
+// caller validates it and answers with SendWelcome (or closes). The
+// returned FrameReader must be reused for subsequent reads on c (it may
+// have buffered past the handshake).
+func AcceptHello(c Conn) (Hello, *FrameReader, error) {
+	if err := c.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
+		return Hello{}, nil, fmt.Errorf("fabric: handshake deadline: %w", err)
+	}
+	fr := NewFrameReader(c, MaxPayload)
+	typ, _, payload, err := fr.Next()
+	if err != nil {
+		return Hello{}, nil, fmt.Errorf("fabric: await hello: %w", err)
+	}
+	if typ != FrameHello {
+		return Hello{}, nil, fmt.Errorf("fabric: expected hello, got %s", typ)
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		return Hello{}, nil, err
+	}
+	if h.Version != ProtocolVersion {
+		return Hello{}, nil, fmt.Errorf("fabric: protocol version mismatch: peer %d, ours %d", h.Version, ProtocolVersion)
+	}
+	return h, fr, nil
+}
+
+// SendWelcome completes the server half of the handshake and clears the
+// handshake deadline. The Version field is filled in.
+func SendWelcome(c Conn, w Welcome) error {
+	w.Version = ProtocolVersion
+	frame := AppendFrame(nil, FrameWelcome, 0, appendWelcome(nil, w))
+	if _, err := c.Write(frame); err != nil {
+		return fmt.Errorf("fabric: send welcome: %w", err)
+	}
+	if err := c.SetDeadline(time.Time{}); err != nil {
+		return fmt.Errorf("fabric: clear deadline: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ReaderOf maps a writer rank to the endpoint rank that consumes its
+// stream in an M:N fan-in — the contiguous block distribution the
+// in-process fabric has always used.
+func ReaderOf(writer, writers, readers int) int {
+	return writer * readers / writers
+}
+
+// Delivery is one staged message handed to an endpoint reader. The caller
+// must invoke Release once the message has been consumed (for data, once
+// the analysis executed the step): releasing returns the writer's credit
+// and advances the cumulative release watermark a reconnecting writer
+// prunes its retransmit buffer against. Releasing only after execution is
+// what makes an endpoint kill lossless — an unexecuted step is never
+// acknowledged, so the writer still holds it.
+type Delivery struct {
+	Writer  int
+	Step    int
+	Payload []byte
+	EOS     bool
+	release func()
+}
+
+// Release acknowledges the delivery back to its writer. Idempotent.
+func (d *Delivery) Release() {
+	if d.release != nil {
+		d.release()
+		d.release = nil
+	}
+}
+
+// HubOptions configures the endpoint side of the fabric.
+type HubOptions struct {
+	// Writers/Readers/Depth are the group geometry; a dialing writer whose
+	// Hello disagrees is refused.
+	Writers, Readers, Depth int
+	// ReadTimeout bounds silence from a writer before its connection is
+	// retired (the writer's heartbeats keep a healthy connection under it).
+	// 0 disables, the loopback default.
+	ReadTimeout time.Duration
+	// Stats receives the hub's counters; nil allocates a private set.
+	Stats *Stats
+}
+
+// hubWriter is the per-writer-rank connection and sequence state. The
+// state outlives any one connection: lastReleased is what makes reconnect
+// exactly-once (re-sent frames at or below it are re-acked, not
+// re-delivered), and lastDelivered suppresses duplicates still in flight
+// to the analysis.
+type hubWriter struct {
+	rank int
+
+	mu            sync.Mutex
+	conn          Conn
+	scratch       []byte
+	lastDelivered uint32
+	lastReleased  uint32
+}
+
+// Hub accepts writer connections and fans their streams in to per-reader
+// delivery queues. Each queue is sized writers-of-reader x depth, the
+// credit bound, so the serve loops never block on a slow consumer — the
+// backpressure point is the writer's exhausted credits, exactly the
+// FlexPath queue-depth semantics.
+type Hub struct {
+	o      HubOptions
+	stats  *Stats
+	lis    Listener
+	queues []chan Delivery
+
+	mu       sync.Mutex
+	writers  map[int]*hubWriter
+	advanced int
+	closed   bool
+}
+
+// NewHub starts serving on lis. Geometry must satisfy writers >= readers
+// >= 1 and depth >= 1 (the fabric's standing invariant); violations panic
+// as they do in the in-process constructor.
+func NewHub(lis Listener, o HubOptions) *Hub {
+	if o.Writers < 1 || o.Readers < 1 || o.Writers < o.Readers || o.Depth < 1 {
+		panic(fmt.Sprintf("fabric: invalid hub geometry %d writers, %d readers, depth %d",
+			o.Writers, o.Readers, o.Depth))
+	}
+	if o.Stats == nil {
+		o.Stats = &Stats{}
+	}
+	h := &Hub{
+		o:       o,
+		stats:   o.Stats,
+		lis:     lis,
+		queues:  make([]chan Delivery, o.Readers),
+		writers: make(map[int]*hubWriter),
+	}
+	for r := range h.queues {
+		n := 0
+		for w := 0; w < o.Writers; w++ {
+			if ReaderOf(w, o.Writers, o.Readers) == r {
+				n++
+			}
+		}
+		h.queues[r] = make(chan Delivery, n*o.Depth)
+	}
+	go h.acceptLoop()
+	return h
+}
+
+// Stats returns the hub's counters.
+func (h *Hub) Stats() *Stats { return h.stats }
+
+// Deliveries returns the delivery queue for one endpoint reader rank.
+func (h *Hub) Deliveries(reader int) <-chan Delivery {
+	return h.queues[reader]
+}
+
+// Advanced reports the highest step any writer has published metadata for.
+func (h *Hub) Advanced() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.advanced
+}
+
+// Close stops accepting and drops every writer connection. Queued
+// deliveries remain readable.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	writers := make([]*hubWriter, 0, len(h.writers))
+	for _, st := range h.writers {
+		writers = append(writers, st)
+	}
+	h.mu.Unlock()
+	err := h.lis.Close()
+	for _, st := range writers {
+		st.mu.Lock()
+		if st.conn != nil {
+			_ = st.conn.Close()
+			st.conn = nil
+		}
+		st.mu.Unlock()
+	}
+	return err
+}
+
+func (h *Hub) acceptLoop() {
+	for {
+		conn, err := h.lis.Accept()
+		if err != nil {
+			return
+		}
+		go h.serve(conn)
+	}
+}
+
+// writer returns (creating on first use) the persistent state for a rank.
+func (h *Hub) writer(rank int) *hubWriter {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.writers[rank]
+	if st == nil {
+		st = &hubWriter{rank: rank}
+		h.writers[rank] = st
+	}
+	return st
+}
+
+// serve drives one writer connection: validate the handshake, grant
+// credits, then pump frames until the connection dies. A second connection
+// for the same rank (the reconnect case) displaces the old one.
+func (h *Hub) serve(conn Conn) {
+	hello, fr, err := AcceptHello(conn)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	if hello.Role != RoleWriter ||
+		int(hello.Writers) != h.o.Writers ||
+		int(hello.Readers) != h.o.Readers ||
+		int(hello.Depth) != h.o.Depth ||
+		int(hello.Rank) >= h.o.Writers {
+		_ = conn.Close()
+		return
+	}
+	rank := int(hello.Rank)
+	st := h.writer(rank)
+	st.mu.Lock()
+	old := st.conn
+	st.conn = conn
+	released := st.lastReleased
+	st.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	if err := SendWelcome(conn, Welcome{Credits: uint32(h.o.Depth), Released: released}); err != nil {
+		h.retire(st, conn)
+		return
+	}
+	reader := ReaderOf(rank, h.o.Writers, h.o.Readers)
+
+	for {
+		if h.o.ReadTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(h.o.ReadTimeout)); err != nil {
+				break
+			}
+		}
+		typ, seq, payload, err := fr.Next()
+		if err != nil {
+			break
+		}
+		h.stats.CountIn(len(payload))
+		switch typ {
+		case FrameHeartbeat:
+			// Echo the probe's timestamp back so the writer measures RTT.
+			st.writeFrame(h.stats, FrameHeartbeatAck, seq, payload)
+		case FrameAdvance:
+			h.mu.Lock()
+			if int(seq) > h.advanced {
+				h.advanced = int(seq)
+			}
+			h.mu.Unlock()
+			st.writeFrame(h.stats, FrameAdvanceAck, seq, nil)
+		case FrameData, FrameEOS:
+			st.mu.Lock()
+			if seq <= st.lastReleased {
+				// Retransmit of a message the analysis already consumed
+				// (the release was lost with the old connection): re-ack.
+				rel := st.lastReleased
+				st.mu.Unlock()
+				st.writeFrame(h.stats, FrameRelease, rel, nil)
+				continue
+			}
+			if seq <= st.lastDelivered {
+				// Duplicate still queued for the analysis; it will be
+				// released when that copy is consumed.
+				st.mu.Unlock()
+				continue
+			}
+			st.lastDelivered = seq
+			st.mu.Unlock()
+			d := Delivery{Writer: rank, EOS: typ == FrameEOS}
+			if typ == FrameData {
+				step, container, perr := SplitStepPayload(payload)
+				if perr != nil {
+					_ = conn.Close()
+					st.mu.Lock()
+					st.lastDelivered = seq - 1
+					st.mu.Unlock()
+					h.retire(st, conn)
+					return
+				}
+				d.Step = step
+				d.Payload = append([]byte(nil), container...)
+			}
+			relSeq := seq
+			d.release = func() { st.releaseUpTo(h.stats, relSeq) }
+			// Queue capacity equals the credit bound, so this never blocks
+			// for a well-behaved writer.
+			h.queues[reader] <- d
+		}
+	}
+	h.retire(st, conn)
+}
+
+// retire closes conn and clears it from the writer state if still current.
+func (h *Hub) retire(st *hubWriter, conn Conn) {
+	_ = conn.Close()
+	st.mu.Lock()
+	if st.conn == conn {
+		st.conn = nil
+	}
+	st.mu.Unlock()
+}
+
+// releaseUpTo advances the cumulative release watermark and tells the
+// writer, returning its credit. Safe if the connection is gone — the
+// watermark rides back in the next handshake's Welcome.
+func (st *hubWriter) releaseUpTo(stats *Stats, seq uint32) {
+	st.mu.Lock()
+	if seq > st.lastReleased {
+		st.lastReleased = seq
+	}
+	rel := st.lastReleased
+	st.mu.Unlock()
+	st.writeFrame(stats, FrameRelease, rel, nil)
+}
+
+// writeFrame encodes and writes one control frame on the current
+// connection, if any; a write failure retires the connection (the writer
+// will redial and recover state from the Welcome).
+func (st *hubWriter) writeFrame(stats *Stats, typ FrameType, seq uint32, payload []byte) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.conn == nil {
+		return
+	}
+	st.scratch = AppendFrame(st.scratch[:0], typ, seq, payload)
+	if err := st.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		_ = st.conn.Close()
+		st.conn = nil
+		return
+	}
+	if _, err := st.conn.Write(st.scratch); err != nil {
+		_ = st.conn.Close()
+		st.conn = nil
+		return
+	}
+	stats.CountOut(len(st.scratch))
+}

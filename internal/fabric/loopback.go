@@ -1,0 +1,100 @@
+package fabric
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The loopback network: named in-process rendezvous points. Dialing a
+// registered name yields one end of a synchronous duplex pipe whose other
+// end pops out of the listener's Accept — the same byte-stream contract as
+// a TCP socket (including deadlines, via net.Pipe), with none of the
+// kernel. Tests and the single-process tools run the identical framing,
+// credit, and reconnect code over it, deterministically.
+var loopback = struct {
+	mu        sync.Mutex
+	listeners map[string]*loopbackListener
+}{listeners: map[string]*loopbackListener{}}
+
+// loopbackAddr names a loopback endpoint.
+type loopbackAddr string
+
+// Network implements net.Addr.
+func (loopbackAddr) Network() string { return "loopback" }
+
+// String implements net.Addr.
+func (a loopbackAddr) String() string { return string(a) }
+
+// loopbackListener queues dialed connections for Accept.
+type loopbackListener struct {
+	name    string
+	pending chan Conn
+	mu      sync.Mutex
+	closed  bool
+	done    chan struct{}
+}
+
+func listenLoopback(name string) (Listener, error) {
+	loopback.mu.Lock()
+	defer loopback.mu.Unlock()
+	if _, ok := loopback.listeners[name]; ok {
+		return nil, fmt.Errorf("fabric: loopback name %q already listening", name)
+	}
+	l := &loopbackListener{
+		name:    name,
+		pending: make(chan Conn, 16),
+		done:    make(chan struct{}),
+	}
+	loopback.listeners[name] = l
+	return l, nil
+}
+
+func dialLoopback(name string) (Conn, error) {
+	loopback.mu.Lock()
+	l := loopback.listeners[name]
+	loopback.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("fabric: no loopback listener %q", name)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.pending <- server:
+		return client, nil
+	case <-l.done:
+		_ = client.Close()
+		_ = server.Close()
+		return nil, fmt.Errorf("fabric: loopback listener %q closed", name)
+	}
+}
+
+// Accept implements Listener.
+func (l *loopbackListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.pending:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("fabric: loopback listener %q closed", l.name)
+	}
+}
+
+// Close implements Listener: unregisters the name and wakes blocked
+// Accept/Dial calls.
+func (l *loopbackListener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	close(l.done)
+	loopback.mu.Lock()
+	if loopback.listeners[l.name] == l {
+		delete(loopback.listeners, l.name)
+	}
+	loopback.mu.Unlock()
+	return nil
+}
+
+// Addr implements Listener.
+func (l *loopbackListener) Addr() net.Addr { return loopbackAddr(l.name) }

@@ -1,0 +1,76 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"gosensei/internal/metrics"
+)
+
+// Stats instruments one side of the fabric with internal/metrics counters.
+// All fields are safe for concurrent update from the send/recv pumps; a nil
+// *Stats disables accounting (every method tolerates nil).
+type Stats struct {
+	BytesIn, BytesOut   metrics.Counter
+	FramesIn, FramesOut metrics.Counter
+	// Retransmits counts frames resent after a reconnect; Reconnects counts
+	// successful re-establishments (the first connect is not a reconnect).
+	Retransmits, Reconnects metrics.Counter
+	// Heartbeats counts completed heartbeat round trips;
+	// HeartbeatRTTNanos accumulates their total round-trip time, so
+	// mean RTT = HeartbeatRTTNanos / Heartbeats.
+	Heartbeats        metrics.Counter
+	HeartbeatRTTNanos metrics.Counter
+}
+
+// CountIn tallies one received frame.
+func (s *Stats) CountIn(payloadLen int) {
+	if s == nil {
+		return
+	}
+	s.FramesIn.Inc()
+	s.BytesIn.Add(int64(payloadLen) + frameHeaderSize)
+}
+
+// CountOut tallies one sent frame.
+func (s *Stats) CountOut(frameLen int) {
+	if s == nil {
+		return
+	}
+	s.FramesOut.Inc()
+	s.BytesOut.Add(int64(frameLen))
+}
+
+// countHeartbeat tallies one completed heartbeat round trip.
+func (s *Stats) countHeartbeat(rtt time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Heartbeats.Inc()
+	s.HeartbeatRTTNanos.Add(int64(rtt))
+}
+
+// MeanHeartbeatRTT returns the average heartbeat round trip, or zero before
+// the first heartbeat completes.
+func (s *Stats) MeanHeartbeatRTT() time.Duration {
+	if s == nil {
+		return 0
+	}
+	n := s.Heartbeats.Value()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(s.HeartbeatRTTNanos.Value() / n)
+}
+
+// Summary renders the counters for end-of-run reports.
+func (s *Stats) Summary() string {
+	if s == nil {
+		return "fabric: no stats"
+	}
+	return fmt.Sprintf("frames in/out %d/%d, bytes in/out %d/%d, retransmits %d, reconnects %d, heartbeat rtt %s (%d beats)",
+		s.FramesIn.Value(), s.FramesOut.Value(),
+		s.BytesIn.Value(), s.BytesOut.Value(),
+		s.Retransmits.Value(), s.Reconnects.Value(),
+		s.MeanHeartbeatRTT(), s.Heartbeats.Value())
+}

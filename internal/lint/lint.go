@@ -76,7 +76,10 @@ func DefaultConfig() *Config {
 			m + "/internal/catalyst",
 			m + "/internal/libsim",
 			m + "/internal/render",
+			m + "/internal/fabric",
+			m + "/internal/live",
 			m + "/cmd/posthoc",
+			m + "/cmd/endpoint",
 		},
 		MPIPkg:      m + "/internal/mpi",
 		RenderPkg:   m + "/internal/render",

@@ -1,0 +1,49 @@
+// netconn exercises the connection-oriented extensions of the
+// unchecked-close rule: half-close errors and deadline setters on
+// conn-like receivers.
+package unchecked
+
+import (
+	"net"
+	"time"
+)
+
+// DroppedHalfClose loses the shutdown errors that report a torn
+// connection.
+func DroppedHalfClose(c *net.TCPConn) {
+	c.CloseWrite() // want unchecked-close
+	c.CloseRead()  // want unchecked-close
+}
+
+// DroppedDeadline never learns the timeout failed to arm: the hang it was
+// guarding against comes back.
+func DroppedDeadline(c net.Conn, l net.Listener, deadline time.Time) {
+	c.SetDeadline(deadline)      // want unchecked-close
+	c.SetReadDeadline(deadline)  // want unchecked-close
+	c.SetWriteDeadline(deadline) // want unchecked-close
+	defer l.Close()              // want unchecked-close
+}
+
+// CheckedConn handles or explicitly drops every connection error.
+func CheckedConn(c net.Conn, data []byte, deadline time.Time) error {
+	if err := c.SetWriteDeadline(deadline); err != nil {
+		return err
+	}
+	if _, err := c.Write(data); err != nil {
+		_ = c.Close()
+		return err
+	}
+	return c.Close()
+}
+
+// deadlineHolder is NOT conn-like (no LocalAddr/Accept), so its deadline
+// setter stays out of scope even though the name matches.
+type deadlineHolder struct{}
+
+func (deadlineHolder) SetDeadline(time.Time) error { return nil }
+
+// NonConnDeadlineIsClean shows the receiver gate: deadline methods on
+// arbitrary types are not findings.
+func NonConnDeadlineIsClean(h deadlineHolder, deadline time.Time) {
+	h.SetDeadline(deadline)
+}

@@ -15,14 +15,27 @@ import (
 const RuleUncheckedClose = "unchecked-close"
 
 // droppedErrorMethods are the method names whose dropped errors are
-// findings.
-var droppedErrorMethods = map[string]bool{"Close": true, "Flush": true, "Write": true, "Sync": true}
+// findings. CloseWrite/CloseRead are the half-close pair on TCP
+// connections; since the fabric moved staging onto real sockets a dropped
+// half-close error hides a torn connection just like a dropped Close.
+var droppedErrorMethods = map[string]bool{
+	"Close": true, "Flush": true, "Write": true, "Sync": true,
+	"CloseWrite": true, "CloseRead": true,
+}
+
+// deadlineMethods are flagged only on connection-like receivers (net.Conn,
+// net.Listener, and the fabric's wrappers): a dropped SetDeadline error
+// means the timeout silently never armed, and the failure it was guarding
+// against becomes a hang.
+var deadlineMethods = map[string]bool{
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
 
 // UncheckedCloseAnalyzer builds the unchecked-close rule.
 func UncheckedCloseAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: RuleUncheckedClose,
-		Doc:  "forbid dropping Close/Flush/Write errors in the I/O writer packages",
+		Doc:  "forbid dropping Close/Flush/Write/deadline errors in the I/O writer packages",
 		Run:  runUncheckedClose,
 	}
 }
@@ -47,7 +60,16 @@ func runUncheckedClose(p *Pass) {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !droppedErrorMethods[sel.Sel.Name] {
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case droppedErrorMethods[name]:
+				// always in scope
+			case deadlineMethods[name] && isConnLike(p.Pkg.Info, sel.X):
+				// deadline setters matter only on connections
+			default:
 				return true
 			}
 			if !returnsError(p.Pkg.Info, call) {
@@ -106,6 +128,27 @@ func isInMemorySink(info *types.Info, recv ast.Expr) bool {
 		return true
 	case pkg == "hash" && (name == "Hash" || name == "Hash32" || name == "Hash64"):
 		return true
+	}
+	return false
+}
+
+// isConnLike reports whether the receiver behaves like a network
+// connection or listener: its method set (or its pointer's) includes
+// LocalAddr (net.Conn and the fabric Conn interface) or Accept
+// (net.Listener and the fabric Listener interface).
+func isConnLike(info *types.Info, recv ast.Expr) bool {
+	tv, ok := info.Types[recv]
+	if !ok {
+		return false
+	}
+	for _, t := range []types.Type{tv.Type, types.NewPointer(tv.Type)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			switch ms.At(i).Obj().Name() {
+			case "LocalAddr", "Accept":
+				return true
+			}
+		}
 	}
 	return false
 }

@@ -1,0 +1,247 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"gosensei/internal/fabric"
+)
+
+// This file puts the viewer connection on the wire: a Server bridges a Hub
+// onto a fabric listener so viewers in other OS processes attach over TCP
+// (or loopback in tests), receive rendered frames, and push steering
+// commands back — the ParaView-Live/VisIt pattern with a real socket
+// underneath. Viewers handshake with RoleViewer; frames ride FrameData,
+// steering rides FrameSteer, and heartbeats keep half-dead viewers from
+// lingering.
+
+// frame payload layout (little-endian): uint64 step, uint32 width,
+// uint32 height, then the PNG bytes.
+const framePayloadHeader = 8 + 4 + 4
+
+// appendFramePayload encodes one published frame for the wire.
+func appendFramePayload(dst []byte, f Frame) []byte {
+	var hdr [framePayloadHeader]byte
+	le := binary.LittleEndian
+	le.PutUint64(hdr[0:8], uint64(int64(f.Step)))
+	le.PutUint32(hdr[8:12], uint32(f.Width))
+	le.PutUint32(hdr[12:16], uint32(f.Height))
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.PNG...)
+}
+
+// decodeFramePayload reverses appendFramePayload, copying the PNG bytes
+// out of the wire buffer.
+func decodeFramePayload(p []byte) (Frame, error) {
+	if len(p) < framePayloadHeader {
+		return Frame{}, fmt.Errorf("live: frame payload too short (%d bytes)", len(p))
+	}
+	le := binary.LittleEndian
+	return Frame{
+		Step:   int(int64(le.Uint64(p[0:8]))),
+		Width:  int(le.Uint32(p[8:12])),
+		Height: int(le.Uint32(p[12:16])),
+		PNG:    append([]byte(nil), p[framePayloadHeader:]...),
+	}, nil
+}
+
+// Server accepts viewer connections on a fabric listener and bridges them
+// to a Hub: every frame the pipeline publishes is pushed to each attached
+// viewer (newest-wins on lag, as Hub.Subscribe provides), and steering
+// commands from viewers land in the hub's queue for the simulation's next
+// DrainCommands.
+type Server struct {
+	hub   *Hub
+	lis   fabric.Listener
+	stats *fabric.Stats
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts accepting viewers on lis.
+func Serve(lis fabric.Listener, hub *Hub) *Server {
+	s := &Server{hub: hub, lis: lis, stats: &fabric.Stats{}}
+	go s.acceptLoop()
+	return s
+}
+
+// Stats returns the server-side wire counters.
+func (s *Server) Stats() *fabric.Stats { return s.stats }
+
+// Addr returns the listener address viewers dial.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops accepting viewers. Attached viewers are detached as their
+// connections fail.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.lis.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		go s.serve(conn)
+	}
+}
+
+// serve drives one viewer connection: frames out, steering in.
+func (s *Server) serve(conn fabric.Conn) {
+	hello, fr, err := fabric.AcceptHello(conn)
+	if err != nil || hello.Role != fabric.RoleViewer {
+		_ = conn.Close()
+		return
+	}
+	if err := fabric.SendWelcome(conn, fabric.Welcome{Credits: 1}); err != nil {
+		_ = conn.Close()
+		return
+	}
+	frames, cancel := s.hub.Subscribe()
+	defer cancel()
+
+	// Writes come from two places — the frame pusher and heartbeat acks —
+	// so they share a lock and a scratch buffer.
+	var wmu sync.Mutex
+	var scratch []byte
+	writeFrame := func(typ fabric.FrameType, seq uint32, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		scratch = fabric.AppendFrame(scratch[:0], typ, seq, payload)
+		if err := conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+			return err
+		}
+		if _, err := conn.Write(scratch); err != nil {
+			return err
+		}
+		s.stats.CountOut(len(scratch))
+		return nil
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var seq uint32
+		var payload []byte
+		for f := range frames {
+			seq++
+			payload = appendFramePayload(payload[:0], f)
+			if err := writeFrame(fabric.FrameData, seq, payload); err != nil {
+				_ = conn.Close()
+				return
+			}
+		}
+	}()
+
+	for {
+		typ, seq, payload, rerr := fr.Next()
+		if rerr != nil {
+			break
+		}
+		s.stats.CountIn(len(payload))
+		switch typ {
+		case fabric.FrameSteer:
+			name, value, derr := fabric.DecodeSteerPayload(payload)
+			if derr != nil {
+				continue
+			}
+			s.hub.SendCommand(name, value)
+		case fabric.FrameHeartbeat:
+			if writeFrame(fabric.FrameHeartbeatAck, seq, payload) != nil {
+				_ = conn.Close()
+			}
+		}
+	}
+	_ = conn.Close()
+	cancel() // unblocks the pusher's range before we wait on it
+	<-done
+}
+
+// Viewer is the remote end of a live connection: frames arrive on Frames,
+// steering goes back with Steer — from a different OS process than the
+// simulation when dialed over TCP.
+type Viewer struct {
+	conn fabric.Conn
+
+	mu      sync.Mutex
+	scratch []byte
+	closed  bool
+
+	frames chan Frame
+}
+
+// DialViewer attaches to a live server.
+func DialViewer(network, addr string) (*Viewer, error) {
+	conn, err := fabric.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	_, fr, err := fabric.DialHello(conn, fabric.Hello{Role: fabric.RoleViewer})
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	v := &Viewer{conn: conn, frames: make(chan Frame, 16)}
+	go v.recvPump(fr)
+	return v, nil
+}
+
+// Frames returns the stream of rendered frames. The channel closes when
+// the connection drops or Close is called.
+func (v *Viewer) Frames() <-chan Frame { return v.frames }
+
+// Steer sends one steering command to the simulation.
+func (v *Viewer) Steer(name string, value float64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return fmt.Errorf("live: viewer closed")
+	}
+	v.scratch = fabric.AppendFrame(v.scratch[:0], fabric.FrameSteer, 0,
+		fabric.AppendSteerPayload(nil, name, value))
+	if err := v.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
+	_, err := v.conn.Write(v.scratch)
+	return err
+}
+
+// Close detaches from the server.
+func (v *Viewer) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil
+	}
+	v.closed = true
+	return v.conn.Close()
+}
+
+func (v *Viewer) recvPump(fr *fabric.FrameReader) {
+	defer close(v.frames)
+	for {
+		typ, _, payload, err := fr.Next()
+		if err != nil {
+			return
+		}
+		if typ != fabric.FrameData {
+			continue
+		}
+		f, err := decodeFramePayload(payload)
+		if err != nil {
+			return
+		}
+		v.frames <- f
+	}
+}

@@ -1,0 +1,90 @@
+package live
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"gosensei/internal/fabric"
+)
+
+func TestFramePayloadRoundTrip(t *testing.T) {
+	f := Frame{Step: 9, Width: 64, Height: 32, PNG: []byte("not really a png")}
+	got, err := decodeFramePayload(appendFramePayload(nil, f))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Step != f.Step || got.Width != f.Width || got.Height != f.Height || !bytes.Equal(got.PNG, f.PNG) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := decodeFramePayload([]byte("short")); err == nil {
+		t.Fatalf("short payload decoded")
+	}
+}
+
+// A viewer in another "process" (over the loopback wire) receives published
+// frames and steers the simulation — the live-connection loop end to end.
+func TestServeViewerOverWire(t *testing.T) {
+	hub := NewHub()
+	lis, err := fabric.Listen("loopback", t.Name())
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := Serve(lis, hub)
+	defer func() { _ = srv.Close() }()
+
+	v, err := DialViewer("loopback", t.Name())
+	if err != nil {
+		t.Fatalf("dial viewer: %v", err)
+	}
+	defer func() { _ = v.Close() }()
+
+	// The subscription races the publish; wait for attachment.
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.Viewers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("viewer never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	want := Frame{Step: 3, Width: 8, Height: 4, PNG: []byte("frame bytes")}
+	hub.Publish(want)
+	select {
+	case got := <-v.Frames():
+		if got.Step != want.Step || !bytes.Equal(got.PNG, want.PNG) {
+			t.Fatalf("got frame %+v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no frame arrived")
+	}
+
+	if err := v.Steer("jet-amplitude", 1.5); err != nil {
+		t.Fatalf("steer: %v", err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		cmds := hub.DrainCommands()
+		if len(cmds) == 1 {
+			if cmds[0].Name != "jet-amplitude" || cmds[0].Value != 1.5 {
+				t.Fatalf("got command %+v", cmds[0])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("steering command never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Closing the viewer detaches it from the hub.
+	if err := v.Close(); err != nil {
+		t.Fatalf("close viewer: %v", err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for hub.Viewers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("viewer never detached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

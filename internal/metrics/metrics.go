@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -69,6 +70,23 @@ func (t *Timer) Mean() time.Duration {
 	}
 	return t.total / time.Duration(t.count)
 }
+
+// Counter is a monotonically increasing tally safe for concurrent use.
+// Infrastructure layers with their own goroutines (the fabric's send/recv
+// pumps, accept loops) count events — frames, bytes, reconnects — without a
+// lock; readers may observe the value at any time.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increases the counter by n (n may be any non-negative delta).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current tally.
+func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Event is one logged measurement: a named phase at a time step.
 type Event struct {
