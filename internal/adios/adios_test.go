@@ -1,6 +1,8 @@
 package adios
 
 import (
+	"encoding/binary"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -78,6 +80,16 @@ func TestBPDecodeRejectsCorruption(t *testing.T) {
 		if _, _, _, err := DecodeStep(payload[:cut]); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
+	}
+	// Wraparound extent: lo=MinInt64 with hi=MaxInt64 overflows both lo-1
+	// and hi-lo, so the difference checks alone would pass it; the
+	// per-coordinate bound must reject it. The extent starts at byte 8
+	// (after magic and version), axis 0 lo then hi.
+	wrap := append([]byte{}, payload...)
+	binary.LittleEndian.PutUint64(wrap[8:], 1<<63) // MinInt64 bit pattern
+	binary.LittleEndian.PutUint64(wrap[16:], math.MaxInt64)
+	if _, _, _, err := DecodeStep(wrap); err == nil {
+		t.Fatal("wraparound extent accepted")
 	}
 }
 

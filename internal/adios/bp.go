@@ -114,11 +114,16 @@ func DecodeStep(data []byte) (*grid.ImageData, int, float64, error) {
 	}
 	// Plausibility bounds before the extent flows into any analysis: axes
 	// may be empty (hi == lo-1) but not inverted, and no axis spans more
-	// points than the largest configuration this reproduction stages.
+	// points than the largest configuration this reproduction stages. The
+	// coordinates are bounded individually first so the difference checks
+	// cannot be wrapped past by extreme values (lo = MinInt64 overflows
+	// both lo-1 and hi-lo).
 	const maxAxisPoints = 1 << 24
+	const maxCoord = int64(1) << 40
 	for axis := 0; axis < 3; axis++ {
-		lo, hi := ext[2*axis], ext[2*axis+1]
-		if hi < lo-1 || hi-lo >= maxAxisPoints {
+		lo, hi := int64(ext[2*axis]), int64(ext[2*axis+1])
+		if lo < -maxCoord || lo > maxCoord || hi < -maxCoord || hi > maxCoord ||
+			hi < lo-1 || hi-lo >= maxAxisPoints {
 			return nil, 0, 0, fmt.Errorf("adios: implausible extent %v", ext)
 		}
 	}

@@ -65,17 +65,18 @@ type Client struct {
 	backoff     *Backoff
 	stats       *Stats
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	conn      Conn
-	pending   []pendingFrame
-	nextSeq   uint32
-	credits   int
-	adv       *advanceWait
-	connected bool // a handshake has succeeded at least once
-	closed    bool
-	fatal     error
-	broken    chan struct{} // kicks the run loop when the conn dies
+	mu         sync.Mutex
+	cond       *sync.Cond
+	conn       Conn
+	pending    []pendingFrame
+	nextSeq    uint32
+	credits    int
+	adv        *advanceWait
+	connected  bool // a handshake has succeeded at least once
+	installing bool // a reconnect is retransmitting; Send/Advance must wait
+	closed     bool
+	fatal      error
+	broken     chan struct{} // kicks the run loop when the conn dies
 
 	// wmu serializes conn writes and guards wscratch. It is never acquired
 	// while c.mu is held and c.mu is never held across a blocking
@@ -145,7 +146,7 @@ func (c *Client) SendEOS() error {
 func (c *Client) sendMsg(typ FrameType, payload []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for c.credits == 0 && c.fatal == nil && !c.closed {
+	for (c.credits == 0 || c.installing) && c.fatal == nil && !c.closed {
 		c.cond.Wait()
 	}
 	if c.fatal != nil {
@@ -171,7 +172,7 @@ func (c *Client) sendMsg(typ FrameType, payload []byte) error {
 // here a real round trip on the wire.
 func (c *Client) Advance(step int) error {
 	c.mu.Lock()
-	for c.adv != nil && c.fatal == nil && !c.closed {
+	for (c.adv != nil || c.installing) && c.fatal == nil && !c.closed {
 		c.cond.Wait()
 	}
 	if c.fatal != nil {
@@ -363,7 +364,25 @@ func (c *Client) install(conn Conn, fr *FrameReader, w Welcome) {
 	if reconnect {
 		c.stats.Reconnects.Inc()
 	}
-	for _, p := range c.pending {
+	// writeFrameLocked drops c.mu around each blocking write, so with the
+	// conn and credits published a concurrent Send could otherwise race a
+	// newer sequence onto the wire between retransmits — and the hub's
+	// cumulative dedup would then swallow the late older retransmits
+	// without delivering them. installing holds Send/Advance in their wait
+	// loops until every retransmit is out.
+	c.installing = true
+	// The recv pump must be reading BEFORE the retransmits go out: the
+	// endpoint can start releasing as soon as the first retransmit is
+	// consumed, and on a synchronous transport an unread Release write
+	// stalls the endpoint's serve loop — which then stops reading our
+	// remaining retransmits, a distributed deadlock until the write
+	// deadline. Releases during the loop only reslice c.pending (the range
+	// snapshot below stays valid) and freed credits stay gated behind
+	// installing; a re-sent already-released frame is re-acked, not
+	// re-delivered.
+	go c.recvPump(conn, fr)
+	retransmits := c.pending
+	for _, p := range retransmits {
 		if err := c.writeFrameLocked(p.typ, p.seq, p.payload); err != nil {
 			break
 		}
@@ -374,7 +393,7 @@ func (c *Client) install(conn Conn, fr *FrameReader, w Welcome) {
 	if c.adv != nil && c.conn != nil {
 		_ = c.writeFrameLocked(FrameAdvance, c.adv.step, nil)
 	}
-	go c.recvPump(conn, fr)
+	c.installing = false
 	c.cond.Broadcast()
 }
 

@@ -362,6 +362,70 @@ func TestClientRidesOutEndpointRestart(t *testing.T) {
 	}
 }
 
+// Sends racing a reconnect must never jump ahead of the retransmits: a
+// newer sequence on the wire before an older one makes the hub's
+// cumulative dedup swallow the older retransmit without delivering it,
+// and the step is lost forever (Drain times out). The race needs
+// depth > pending at reconnect so a Send can grab a restored credit
+// while the install loop is still retransmitting; iterate to vary the
+// interleaving.
+func TestSendDuringReconnectKeepsOrder(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		addr := fmt.Sprintf("%s-%d", t.Name(), iter)
+		hub := startHub(t, addr, 1, 1, 4)
+		c := DialWriter(loopbackClient(addr, 0, 1, 1, 4))
+
+		// Two steps on the wire, delivered but never released: the endpoint
+		// dies holding them, with two credits still free.
+		for step := 0; step < 2; step++ {
+			if err := c.Send(step, []byte(fmt.Sprintf("step %d", step))); err != nil {
+				t.Fatalf("iter %d: send %d: %v", iter, step, err)
+			}
+		}
+		if err := hub.Close(); err != nil {
+			t.Fatalf("iter %d: hub close: %v", iter, err)
+		}
+
+		// Restart the endpoint and immediately send more steps, so the new
+		// Sends race the install/retransmit of steps 0 and 1.
+		hub2 := startHub(t, addr, 1, 1, 4)
+		sendErr := make(chan error, 1)
+		go func() {
+			for step := 2; step < 6; step++ {
+				if err := c.Send(step, []byte(fmt.Sprintf("step %d", step))); err != nil {
+					sendErr <- err
+					return
+				}
+			}
+			sendErr <- nil
+		}()
+
+		for want := 0; want < 6; want++ {
+			select {
+			case d := <-hub2.Deliveries(0):
+				if d.Step != want {
+					t.Fatalf("iter %d: delivery step %d, want %d (reordered across reconnect)", iter, d.Step, want)
+				}
+				d.Release()
+			case <-time.After(5 * time.Second):
+				t.Fatalf("iter %d: step %d never delivered (lost in reconnect)", iter, want)
+			}
+		}
+		if err := <-sendErr; err != nil {
+			t.Fatalf("iter %d: concurrent send: %v", iter, err)
+		}
+		if err := c.Drain(5 * time.Second); err != nil {
+			t.Fatalf("iter %d: drain: %v", iter, err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("iter %d: close: %v", iter, err)
+		}
+		if err := hub2.Close(); err != nil {
+			t.Fatalf("iter %d: hub2 close: %v", iter, err)
+		}
+	}
+}
+
 // A writer whose endpoint never comes back must fail Send once the retry
 // window is exhausted, not hang forever.
 func TestClientRetryWindowExhausted(t *testing.T) {

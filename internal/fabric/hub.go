@@ -194,17 +194,25 @@ func (h *Hub) serve(conn Conn) {
 	}
 	rank := int(hello.Rank)
 	st := h.writer(rank)
+	// The Welcome must be the first frame the dialer sees, and every write
+	// on a connection must be serialized under st.mu — so send it while
+	// holding st.mu and only then publish st.conn. Otherwise a concurrent
+	// releaseUpTo for an old delivery could put a Release on the new
+	// connection before (or interleaved with) the Welcome, failing the
+	// reconnecting writer's handshake. The write is bounded by the
+	// handshake deadline AcceptHello installed.
 	st.mu.Lock()
 	old := st.conn
-	st.conn = conn
 	released := st.lastReleased
+	if err := SendWelcome(conn, Welcome{Credits: uint32(h.o.Depth), Released: released}); err != nil {
+		st.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	st.conn = conn
 	st.mu.Unlock()
 	if old != nil {
 		_ = old.Close()
-	}
-	if err := SendWelcome(conn, Welcome{Credits: uint32(h.o.Depth), Released: released}); err != nil {
-		h.retire(st, conn)
-		return
 	}
 	reader := ReaderOf(rank, h.o.Writers, h.o.Readers)
 

@@ -60,12 +60,23 @@ func dialLoopback(name string) (Conn, error) {
 	client, server := net.Pipe()
 	select {
 	case l.pending <- server:
-		return client, nil
 	case <-l.done:
 		_ = client.Close()
 		_ = server.Close()
 		return nil, fmt.Errorf("fabric: loopback listener %q closed", name)
 	}
+	// Re-check after winning the race into the queue: Close drains pending,
+	// but an enqueue landing after that drain would strand both pipe ends
+	// until the handshake deadline. If the listener closed, fail fast —
+	// closing our ends aborts any handshake a racing Accept started.
+	select {
+	case <-l.done:
+		_ = client.Close()
+		_ = server.Close()
+		return nil, fmt.Errorf("fabric: loopback listener %q closed", name)
+	default:
+	}
+	return client, nil
 }
 
 // Accept implements Listener.
@@ -88,6 +99,17 @@ func (l *loopbackListener) Close() error {
 	}
 	l.closed = true
 	close(l.done)
+	// Drain conns that were queued but never accepted so their dialers
+	// don't block until the handshake deadline and the pipe ends don't leak.
+drain:
+	for {
+		select {
+		case c := <-l.pending:
+			_ = c.Close()
+		default:
+			break drain
+		}
+	}
 	loopback.mu.Lock()
 	if loopback.listeners[l.name] == l {
 		delete(loopback.listeners, l.name)
