@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build vet fmt-check lint test bench bench-smoke fabric-smoke race cover experiments examples clean
+.PHONY: all check build vet fmt-check lint test bench bench-smoke bench-collectives fabric-smoke race cover experiments examples clean
 
 all: build vet lint test
 
-check: build vet fmt-check lint test race bench-smoke fabric-smoke
+check: build vet fmt-check lint test race bench-smoke bench-collectives fabric-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,11 @@ bench:
 # the benchmark harness without paying for stable timings.
 bench-smoke:
 	$(GO) test -run XXX -bench 'Fig3OscillatorKernel|RasterizeMesh|Tab2PNGEncode1080p|AblationCompositing|HistogramBinning' -benchtime=1x -benchmem .
+
+# One iteration of the collective engine vs the legacy shapes it replaced
+# (BENCH_4.json is the stable-timing sweep of the same benchmarks).
+bench-collectives:
+	$(GO) test -run XXX -bench 'BenchmarkCollectives|BenchmarkFusedMinMax' -benchtime=1x -benchmem ./internal/mpi/
 
 # The wire end to end under the race detector: staging fan-in, backpressure,
 # endpoint restart, and the two-OS-process TCP deployment.

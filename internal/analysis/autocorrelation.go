@@ -164,7 +164,7 @@ func (ac *Autocorrelation) Finalize() error {
 			for _, c := range local {
 				flat = append(flat, c.Value, float64(c.Rank), float64(c.Cell))
 			}
-			parts, err := mpi.Gather(ac.Comm, flat, 0)
+			parts, err := mpi.Gatherv(ac.Comm, flat, 0)
 			if err != nil {
 				return fmt.Errorf("analysis: autocorrelation finalize: %w", err)
 			}

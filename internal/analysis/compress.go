@@ -95,7 +95,7 @@ func (cp *Compression) Execute(d core.DataAdaptor) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("analysis: compression: %w", err)
 	}
-	// Global range (two reductions, like the histogram).
+	// Global range (one fused min/max reduction, like the histogram).
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, src := range sources {
 		for i := 0; i < src.Values.Tuples(); i++ {
@@ -105,15 +105,11 @@ func (cp *Compression) Execute(d core.DataAdaptor) (bool, error) {
 		}
 	}
 	if cp.Comm != nil {
-		g := make([]float64, 1)
-		if err := mpi.Allreduce(cp.Comm, []float64{lo}, g, mpi.OpMin); err != nil {
+		gLo, gHi := []float64{lo}, []float64{hi}
+		if err := mpi.AllreduceMinMax(cp.Comm, gLo, gHi); err != nil {
 			return false, err
 		}
-		lo = g[0]
-		if err := mpi.Allreduce(cp.Comm, []float64{hi}, g, mpi.OpMax); err != nil {
-			return false, err
-		}
-		hi = g[0]
+		lo, hi = gLo[0], gHi[0]
 	}
 	if math.IsInf(lo, 1) {
 		lo, hi = 0, 0

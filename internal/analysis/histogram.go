@@ -126,17 +126,14 @@ func (h *Histogram) Compute(step int, mesh grid.Dataset) (*HistogramResult, erro
 			}
 		}
 	}
-	// Two global reductions for min and max, as in the paper.
+	// One fused global reduction covers both the min and the max (one
+	// collective round per step instead of two).
 	if h.Comm != nil {
-		g := make([]float64, 1)
-		if err := mpi.Allreduce(h.Comm, []float64{lo}, g, mpi.OpMin); err != nil {
+		gLo, gHi := []float64{lo}, []float64{hi}
+		if err := mpi.AllreduceMinMax(h.Comm, gLo, gHi); err != nil {
 			return nil, err
 		}
-		lo = g[0]
-		if err := mpi.Allreduce(h.Comm, []float64{hi}, g, mpi.OpMax); err != nil {
-			return nil, err
-		}
-		hi = g[0]
+		lo, hi = gLo[0], gHi[0]
 	}
 	if math.IsInf(lo, 1) { // no non-ghost data anywhere
 		lo, hi = 0, 0

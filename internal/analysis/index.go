@@ -83,15 +83,11 @@ func (ix *BinnedIndex) Execute(d core.DataAdaptor) (bool, error) {
 		}
 	}
 	if ix.Comm != nil {
-		g := make([]float64, 1)
-		if err := mpi.Allreduce(ix.Comm, []float64{lo}, g, mpi.OpMin); err != nil {
+		gLo, gHi := []float64{lo}, []float64{hi}
+		if err := mpi.AllreduceMinMax(ix.Comm, gLo, gHi); err != nil {
 			return false, err
 		}
-		lo = g[0]
-		if err := mpi.Allreduce(ix.Comm, []float64{hi}, g, mpi.OpMax); err != nil {
-			return false, err
-		}
-		hi = g[0]
+		lo, hi = gLo[0], gHi[0]
 	}
 	if math.IsInf(lo, 1) {
 		lo, hi = 0, 0

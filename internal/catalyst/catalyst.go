@@ -239,21 +239,13 @@ func (a *SliceAdaptor) buildSpec(mesh grid.Dataset) (*render.SliceSpec, error) {
 	}
 	lo, hi := arr.Range(comp)
 	lb := mesh.Bounds()
-	send := make([]float64, 8)
-	recvLo := make([]float64, 4)
-	recvHi := make([]float64, 4)
-	send[0], send[1], send[2], send[3] = lo, lb[0], lb[2], lb[4]
-	send[4], send[5], send[6], send[7] = hi, lb[1], lb[3], lb[5]
+	recvLo := []float64{lo, lb[0], lb[2], lb[4]}
+	recvHi := []float64{hi, lb[1], lb[3], lb[5]}
 	if a.Comm != nil {
-		if err := mpi.Allreduce(a.Comm, send[:4], recvLo, mpi.OpMin); err != nil {
+		// One fused min/max round for the scalar range and the bounds.
+		if err := mpi.AllreduceMinMax(a.Comm, recvLo, recvHi); err != nil {
 			return nil, err
 		}
-		if err := mpi.Allreduce(a.Comm, send[4:], recvHi, mpi.OpMax); err != nil {
-			return nil, err
-		}
-	} else {
-		copy(recvLo, send[:4])
-		copy(recvHi, send[4:])
 	}
 	bounds := [6]float64{recvLo[1], recvHi[1], recvLo[2], recvHi[2], recvLo[3], recvHi[3]}
 	return &render.SliceSpec{

@@ -282,20 +282,13 @@ func (cn *Cinema) globalRange(img *grid.ImageData) (lo, hi float64, bounds [6]fl
 	}
 	l, h := arr.Range(0)
 	lb := img.Bounds()
-	sendLo := []float64{l, lb[0], lb[2], lb[4]}
-	sendHi := []float64{h, lb[1], lb[3], lb[5]}
-	recvLo := make([]float64, 4)
-	recvHi := make([]float64, 4)
+	recvLo := []float64{l, lb[0], lb[2], lb[4]}
+	recvHi := []float64{h, lb[1], lb[3], lb[5]}
 	if cn.Comm != nil {
-		if err := mpi.Allreduce(cn.Comm, sendLo, recvLo, mpi.OpMin); err != nil {
+		// One fused min/max round for the scalar range and the bounds.
+		if err := mpi.AllreduceMinMax(cn.Comm, recvLo, recvHi); err != nil {
 			return 0, 0, bounds, err
 		}
-		if err := mpi.Allreduce(cn.Comm, sendHi, recvHi, mpi.OpMax); err != nil {
-			return 0, 0, bounds, err
-		}
-	} else {
-		copy(recvLo, sendLo)
-		copy(recvHi, sendHi)
 	}
 	bounds = [6]float64{recvLo[1], recvHi[1], recvLo[2], recvHi[2], recvLo[3], recvHi[3]}
 	return recvLo[0], recvHi[0], bounds, nil

@@ -171,7 +171,7 @@ func (s *Staging) Execute(d core.DataAdaptor) (bool, error) {
 	var parts [][]byte
 	var gatherErr error
 	s.reg().Time("glean::aggregate", step, func() {
-		parts, gatherErr = mpi.Gather(s.nodeComm, payload, 0)
+		parts, gatherErr = mpi.Gatherv(s.nodeComm, payload, 0)
 	})
 	if gatherErr != nil {
 		return false, gatherErr

@@ -1,0 +1,29 @@
+package lint
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// TestReservedTagBaseMatchesRuntime keeps reservedTagBase in lockstep with
+// internal/mpi's unexported collTagBase: the rule restates the value, so a
+// future shift of the collective tag space must update both.
+func TestReservedTagBaseMatchesRuntime(t *testing.T) {
+	src, err := os.ReadFile("../mpi/collectives.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`collTagBase\s*=\s*1\s*<<\s*(\d+)`).FindSubmatch(src)
+	if m == nil {
+		t.Fatal("collTagBase = 1 << N declaration not found in internal/mpi/collectives.go")
+	}
+	shift, err := strconv.Atoi(string(m[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := 1 << shift; got != reservedTagBase {
+		t.Errorf("reservedTagBase = %d, but internal/mpi declares collTagBase = 1<<%d = %d", reservedTagBase, shift, got)
+	}
+}

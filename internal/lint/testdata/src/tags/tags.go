@@ -30,3 +30,29 @@ func NamedIsClean(c *mpi.Comm, buf []float64) {
 	mpi.Send(c, 1, tagOf(2), buf)
 	_, _, _ = mpi.Recv[float64](c, 0, mpi.AnyTag)
 }
+
+// tagTooHigh is a named constant, so it passes the literal check — but its
+// value sits in the collective engine's reserved space.
+const tagTooHigh = 1<<28 + 5
+
+func ReservedNamed(c *mpi.Comm, buf []float64) {
+	mpi.Send(c, 1, tagTooHigh, buf) // want mpi-tag-hygiene
+}
+
+func ReservedExpr(c *mpi.Comm) {
+	_, _, _ = mpi.Recv[float64](c, 0, tagData+1<<28) // want mpi-tag-hygiene
+}
+
+func ReservedSendRecv(c *mpi.Comm, buf []float64) {
+	_, _ = mpi.SendRecv(c, 1, tagTooHigh, buf, 1, tagData) // want mpi-tag-hygiene
+}
+
+// JustBelowReservedIsClean: the last tag below the reserved space is fine.
+func JustBelowReservedIsClean(c *mpi.Comm, buf []float64) {
+	mpi.SendOwned(c, 1, tagData+1<<27, buf)
+}
+
+// RuntimeValueIsClean: non-constant tags cannot be judged at compile time.
+func RuntimeValueIsClean(c *mpi.Comm, buf []float64, dynamic int) {
+	mpi.Send(c, 1, dynamic, buf)
+}

@@ -22,23 +22,20 @@ type RankSummary struct {
 // call Summarize with the same name; the result is valid on every rank.
 func Summarize(c *mpi.Comm, r *Registry, name string) (RankSummary, error) {
 	v := r.Timer(name).Total().Seconds()
-	send := []float64{v, v, v}
-	recv := make([]float64, 3)
-	if err := mpi.Allreduce(c, send[:1], recv[:1], mpi.OpMin); err != nil {
+	lo, hi := []float64{v}, []float64{v}
+	if err := mpi.AllreduceMinMax(c, lo, hi); err != nil {
 		return RankSummary{}, err
 	}
-	if err := mpi.Allreduce(c, send[1:2], recv[1:2], mpi.OpMax); err != nil {
-		return RankSummary{}, err
-	}
-	if err := mpi.Allreduce(c, send[2:3], recv[2:3], mpi.OpSum); err != nil {
+	sum := make([]float64, 1)
+	if err := mpi.Allreduce(c, []float64{v}, sum, mpi.OpSum); err != nil {
 		return RankSummary{}, err
 	}
 	return RankSummary{
 		Name: name,
-		Min:  recv[0],
-		Max:  recv[1],
-		Mean: recv[2] / float64(c.Size()),
-		Sum:  recv[2],
+		Min:  lo[0],
+		Max:  hi[0],
+		Mean: sum[0] / float64(c.Size()),
+		Sum:  sum[0],
 	}, nil
 }
 

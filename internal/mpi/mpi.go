@@ -3,19 +3,25 @@
 // Ranks are goroutines launched by Run; each rank receives a *Comm handle
 // through which it performs point-to-point communication (Send/Recv with tag
 // matching) and collective operations (Barrier, Bcast, Reduce, Allreduce,
-// Gather, Gatherv, Allgather, Scan, Alltoall). Communicators can be split
-// into sub-communicators with Split, mirroring MPI_Comm_split.
+// Gather, Gatherv, Scatter, Allgather, Allgatherv, Scan, Alltoall).
+// Communicators can be split into sub-communicators with Split, mirroring
+// MPI_Comm_split.
 //
 // The package exists because this repository reproduces an HPC paper
 // (SC16 SENSEI) whose software stack is built on MPI, and Go has no MPI
-// bindings in the standard library. The collectives use the standard
-// binomial-tree and recursive-pattern algorithms so that their communication
-// step counts — which drive the scaling behavior the paper measures — match
-// real MPI implementations.
+// bindings in the standard library. The collectives select algorithms by
+// message size the way MPICH does — recursive doubling and Rabenseifner for
+// Allreduce, ring for Allgather, binomial trees for Bcast/Gather/Scatter,
+// round-ordered pairwise exchange for Alltoall — so that their communication
+// step counts and per-rank byte volumes, which drive the scaling behavior
+// the paper measures, match real MPI implementations. Per-rank traffic
+// odometers (TrafficStats) expose those volumes for tests and benchmarks.
 //
 // Message payloads are copied on Send and copied again into the receiver's
 // buffer, preserving message-passing semantics: after a Send returns, the
-// sender may freely reuse its buffer.
+// sender may freely reuse its buffer. SendOwned transfers ownership instead
+// of copying; collectives use it with pooled buffers on internal tree hops
+// so steady-state reductions do not allocate.
 package mpi
 
 import (
@@ -55,12 +61,36 @@ type mailbox struct {
 func (m *mailbox) put(msg message) {
 	m.mu.Lock()
 	m.pending = append(m.pending, msg)
-	ws := m.waiters
-	m.waiters = nil
-	m.mu.Unlock()
-	for _, w := range ws {
-		close(w)
+	// Signal under the lock: the sends are non-blocking (cap-1 token
+	// channels), and truncating rather than nil-ing keeps the waiters
+	// backing array alive so blocked receives never re-grow it.
+	for _, w := range m.waiters {
+		select {
+		case w <- struct{}{}:
+		default: // already signaled; one token is enough to trigger a rescan
+		}
 	}
+	m.waiters = m.waiters[:0]
+	m.mu.Unlock()
+}
+
+// waiterPool recycles wakeup channels across blocking receives. A waiter is
+// a capacity-1 token channel rather than a close-once channel so it can be
+// reused: put delivers at most one token, and getWaiter drains any stale
+// token left by a timed-out wait. A stale registration firing into a reused
+// channel only causes a harmless rescan.
+var waiterPool sync.Pool
+
+func getWaiter() chan struct{} {
+	if v := waiterPool.Get(); v != nil {
+		w := v.(chan struct{})
+		select {
+		case <-w:
+		default:
+		}
+		return w
+	}
+	return make(chan struct{}, 1)
 }
 
 // take removes and returns the first message matching (src, tag, ctx).
@@ -83,7 +113,7 @@ func (m *mailbox) take(src, tag, ctx int, timeout time.Duration) (message, error
 			m.mu.Unlock()
 			return msg, nil
 		}
-		w := make(chan struct{})
+		w := getWaiter()
 		m.waiters = append(m.waiters, w)
 		m.mu.Unlock()
 
@@ -95,8 +125,10 @@ func (m *mailbox) take(src, tag, ctx int, timeout time.Duration) (message, error
 		select {
 		case <-w:
 			putTimer(t)
+			waiterPool.Put(w) // token consumed; channel is clean
 		case <-t.C:
 			timerPool.Put(t) // fired: C is drained, safe to recycle as-is
+			waiterPool.Put(w)
 			return message{}, fmt.Errorf("mpi: recv timeout (possible deadlock) waiting for src=%d tag=%d ctx=%d", src, tag, ctx)
 		}
 	}
@@ -132,8 +164,54 @@ func putTimer(t *time.Timer) {
 type World struct {
 	size        int
 	boxes       []*mailbox
+	traffic     []trafficCounters
 	nextCtx     atomic.Int64
 	recvTimeout time.Duration
+}
+
+// Traffic is a snapshot of one rank's point-to-point odometers. Collectives
+// are built from the same Send/Recv primitives, so their internal hops are
+// counted too; tests and benchmarks use before/after deltas to compare the
+// byte volume through a rank under different collective algorithms.
+type Traffic struct {
+	SentBytes int64
+	RecvBytes int64
+	SentMsgs  int64
+	RecvMsgs  int64
+}
+
+// trafficCounters is the mutable, per-world-rank form of Traffic. Padded so
+// adjacent ranks' counters do not share a cache line; each rank only ever
+// bumps its own.
+type trafficCounters struct {
+	sentBytes atomic.Int64
+	recvBytes atomic.Int64
+	sentMsgs  atomic.Int64
+	recvMsgs  atomic.Int64
+	_         [4]int64
+}
+
+// TrafficStats returns the calling rank's cumulative traffic odometers.
+func (c *Comm) TrafficStats() Traffic {
+	t := &c.world.traffic[c.group[c.rank]]
+	return Traffic{
+		SentBytes: t.sentBytes.Load(),
+		RecvBytes: t.recvBytes.Load(),
+		SentMsgs:  t.sentMsgs.Load(),
+		RecvMsgs:  t.recvMsgs.Load(),
+	}
+}
+
+func countSent[T any](c *Comm, n int) {
+	t := &c.world.traffic[c.group[c.rank]]
+	t.sentBytes.Add(int64(n) * int64(sizeOf[T]()))
+	t.sentMsgs.Add(1)
+}
+
+func countRecv[T any](c *Comm, n int) {
+	t := &c.world.traffic[c.group[c.rank]]
+	t.recvBytes.Add(int64(n) * int64(sizeOf[T]()))
+	t.recvMsgs.Add(1)
 }
 
 // Option configures a World created by Run.
@@ -170,7 +248,7 @@ func Run(n int, f func(c *Comm) error, opts ...Option) error {
 	if n <= 0 {
 		return fmt.Errorf("mpi: world size must be positive, got %d", n)
 	}
-	w := &World{size: n, boxes: make([]*mailbox, n), recvTimeout: DefaultRecvTimeout}
+	w := &World{size: n, boxes: make([]*mailbox, n), traffic: make([]trafficCounters, n), recvTimeout: DefaultRecvTimeout}
 	for i := range w.boxes {
 		w.boxes[i] = &mailbox{}
 	}
@@ -224,6 +302,7 @@ func (c *Comm) recv(src, tag int) (message, error) {
 func Send[T any](c *Comm, dest, tag int, data []T) {
 	cp := make([]T, len(data))
 	copy(cp, data)
+	countSent[T](c, len(data))
 	c.send(dest, tag, cp)
 }
 
@@ -235,6 +314,7 @@ func Send[T any](c *Comm, dest, tag int, data []T) {
 // receiver, and the receiver returns it to the pool when done. Use Send when
 // the sender needs to keep its buffer.
 func SendOwned[T any](c *Comm, dest, tag int, data []T) {
+	countSent[T](c, len(data))
 	c.send(dest, tag, data)
 }
 
@@ -258,6 +338,7 @@ func Recv[T any](c *Comm, src, tag int) ([]T, int, error) {
 	if !ok {
 		return nil, msg.src, fmt.Errorf("mpi: recv type mismatch: message from rank %d tag %d holds %T", msg.src, msg.tag, msg.payload)
 	}
+	countRecv[T](c, len(data))
 	return data, msg.src, nil
 }
 

@@ -169,7 +169,7 @@ func TestGatherScatterInverse(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			back, err := Gather(c, mine, 0)
+			back, err := Gatherv(c, mine, 0)
 			if err != nil {
 				return err
 			}
