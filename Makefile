@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build vet fmt-check lint test bench bench-smoke bench-collectives fabric-smoke race cover experiments examples clean
+.PHONY: all check build vet fmt-check lint test bench bench-smoke bench-collectives fabric-smoke faultline-smoke fuzz-smoke race cover experiments examples clean
 
 all: build vet lint test
 
-check: build vet fmt-check lint test race bench-smoke bench-collectives fabric-smoke
+check: build vet fmt-check lint test race bench-smoke bench-collectives fabric-smoke faultline-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,10 @@ fmt-check:
 lint:
 	$(GO) run ./cmd/gosenseilint -stats
 
+# -shuffle=on randomizes test order within each package, so accidental
+# order dependencies (shared globals, leaked state) fail loudly.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./internal/...
@@ -43,7 +45,20 @@ bench-collectives:
 # endpoint restart, and the two-OS-process TCP deployment.
 fabric-smoke:
 	$(GO) test -race -count=1 -run 'TestClientHubStagingFanIn|TestClientBackpressure|TestClientRidesOutEndpointRestart' ./internal/fabric/
-	$(GO) test -count=1 -run 'TestCmdEndpointTwoProcessTCP|TestCmdEndpointReconnect' .
+	$(GO) test -count=1 -run 'TestCmdEndpointTwoProcessTCP|TestCmdEndpointReconnect|TestCmdEndpointRetryWindowExpires' .
+
+# The metamorphic fault-injection suite under the race detector: 13 seeded
+# schedules per pipeline (staging + post hoc = 26 total), each required to
+# produce bit-identical analysis output to the fault-free run. Any failure
+# prints a GOSENSEI_FAULT_SCHEDULE=<seed:spec> token that replays it.
+faultline-smoke:
+	GOSENSEI_FAULT_N=13 $(GO) test -race -count=1 -run 'TestMetamorphic|TestRepro|TestFatal' ./internal/faultline/
+
+# A short fuzz pass over the wire-facing decoders, seeded from the checked-in
+# corpora under testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzFrameDecode -fuzztime 10s ./internal/fabric/
+	$(GO) test -run XXX -fuzz FuzzDecode -fuzztime 10s ./internal/adios/
 
 cover:
 	$(GO) test -cover ./...

@@ -37,6 +37,7 @@ import (
 	"gosensei/internal/analysis"
 	"gosensei/internal/catalyst"
 	"gosensei/internal/core"
+	"gosensei/internal/faultline"
 	"gosensei/internal/grid"
 	"gosensei/internal/metrics"
 	"gosensei/internal/mpi"
@@ -51,6 +52,8 @@ type options struct {
 	listen, connect            string
 	killAfter                  int
 	retryWindow                time.Duration
+	faults                     string
+	frun                       *faultline.Run
 }
 
 func main() {
@@ -67,7 +70,19 @@ func main() {
 	flag.StringVar(&o.connect, "connect", "", "run only the writer group, staging to a -listen endpoint")
 	flag.IntVar(&o.killAfter, "kill-after", 0, "with -listen: exit(3) after this many executed steps (failure injection)")
 	flag.DurationVar(&o.retryWindow, "retry-window", 15*time.Second, "with -connect: how long writers ride out a dead endpoint")
+	flag.StringVar(&o.faults, "faults", "", "fault-injection schedule <seed:spec> applied to the writer group (see internal/faultline)")
 	flag.Parse()
+
+	if o.faults != "" {
+		if o.listen != "" {
+			fatal(fmt.Errorf("-faults applies to the writer side; use it with -connect or in local mode"))
+		}
+		sched, err := faultline.Parse(o.faults)
+		if err != nil {
+			fatal(err)
+		}
+		o.frun = sched.Start()
+	}
 
 	switch {
 	case o.listen != "" && o.connect != "":
@@ -94,6 +109,12 @@ func simConfig(o options) oscillator.Config {
 // runWriters drives the simulation group over any staging transport.
 func runWriters(o options, t adios.Transport) error {
 	simCfg := simConfig(o)
+	var opts []mpi.Option
+	if o.frun != nil {
+		if p := o.frun.NewMPIPlan(); p != nil {
+			opts = append(opts, mpi.WithFaults(p))
+		}
+	}
 	return mpi.Run(o.ranks, func(c *mpi.Comm) error {
 		sim, err := oscillator.NewSim(c, simCfg, nil)
 		if err != nil {
@@ -113,7 +134,7 @@ func runWriters(o options, t adios.Transport) error {
 			}
 		}
 		return b.Finalize()
-	})
+	}, opts...)
 }
 
 // workloadConfigure returns the endpoint bridge configuration for the
@@ -193,6 +214,11 @@ func report(o options, res *adios.EndpointResult, hist *analysis.Histogram) {
 // original single-binary demonstration.
 func runLocal(o options) {
 	fabric := adios.NewFabric(o.ranks, o.depth)
+	if o.frun != nil {
+		if fp := o.frun.FabricPlan(); fp != nil {
+			fabric.SetConnWrapper(fp.WrapConn)
+		}
+	}
 
 	var wg sync.WaitGroup
 	var writerErr, endpointErr error
@@ -209,6 +235,7 @@ func runLocal(o options) {
 		res, endpointErr = adios.RunEndpoint(fabric, workloadConfigure(o, &hist))
 	}()
 	wg.Wait()
+	reportFaults(o)
 	if writerErr != nil {
 		fatal(writerErr)
 	}
@@ -216,6 +243,18 @@ func runLocal(o options) {
 		fatal(endpointErr)
 	}
 	report(o, res, hist)
+}
+
+// reportFaults prints which injected faults actually fired; it runs before
+// any error check so a fatal schedule still leaves its replay trace.
+func reportFaults(o options) {
+	if o.frun == nil {
+		return
+	}
+	fmt.Printf("faultline: schedule %s\n", o.faults)
+	for _, l := range o.frun.TraceLines() {
+		fmt.Printf("faultline: fired %s\n", l)
+	}
 }
 
 // runListen is the analysis executable of the two-process deployment: it
@@ -242,15 +281,23 @@ func runListen(o options) {
 // runConnect is the simulation executable of the two-process deployment:
 // the writer group stages every step to the -listen endpoint over TCP.
 func runConnect(o options) {
-	t, err := adios.DialWire(adios.WireOptions{
+	wo := adios.WireOptions{
 		Network: "tcp", Addr: o.connect,
 		Writers: o.ranks, Readers: o.ranks, Depth: o.depth,
 		RetryWindow: o.retryWindow,
-	})
+	}
+	if o.frun != nil {
+		if fp := o.frun.FabricPlan(); fp != nil {
+			wo.WrapConn = fp.WrapConn
+		}
+	}
+	t, err := adios.DialWire(wo)
 	if err != nil {
 		fatal(err)
 	}
-	if err := runWriters(o, t); err != nil {
+	err = runWriters(o, t)
+	reportFaults(o)
+	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("writer: %d ranks staged %d steps to %s over tcp\n", o.ranks, o.steps, o.connect)

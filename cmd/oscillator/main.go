@@ -21,8 +21,9 @@ import (
 	_ "gosensei/internal/catalyst"
 	"gosensei/internal/core"
 	_ "gosensei/internal/extracts"
+	"gosensei/internal/faultline"
 	_ "gosensei/internal/glean"
-	_ "gosensei/internal/iosim"
+	"gosensei/internal/iosim"
 	_ "gosensei/internal/libsim"
 	"gosensei/internal/metrics"
 	"gosensei/internal/mpi"
@@ -41,10 +42,27 @@ func main() {
 		config  = flag.String("config", "", "SENSEI analysis configuration XML")
 		threads = flag.Int("threads", 0, "process thread budget shared across ranks (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "print per-rank timing summary")
+		faults  = flag.String("faults", "", "fault-injection schedule <seed:spec> (see internal/faultline)")
 	)
 	flag.Parse()
 	if *threads > 0 {
 		parallel.SetThreads(*threads)
+	}
+
+	var frun *faultline.Run
+	var opts []mpi.Option
+	if *faults != "" {
+		sched, err := faultline.Parse(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		frun = sched.Start()
+		if p := frun.NewMPIPlan(); p != nil {
+			opts = append(opts, mpi.WithFaults(p))
+		}
+		if p := frun.IOPlan(); p != nil {
+			iosim.SetFaults(p)
+		}
 	}
 
 	var configDoc []byte
@@ -141,7 +159,15 @@ func main() {
 			}
 		}
 		return nil
-	})
+	}, opts...)
+	if frun != nil {
+		// Printed before the error check so a fatal schedule still leaves
+		// its replay trace.
+		fmt.Printf("faultline: schedule %s\n", *faults)
+		for _, l := range frun.TraceLines() {
+			fmt.Printf("faultline: fired %s\n", l)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -2,6 +2,7 @@ package gosensei
 
 import (
 	"bufio"
+	"errors"
 	"io"
 	"os"
 	"os/exec"
@@ -205,6 +206,52 @@ func TestCmdEndpointReconnect(t *testing.T) {
 	}
 	if got, want := histogramBlock(t, epOut), histogramBlock(t, clean); got != want {
 		t.Fatalf("post-reconnect histogram differs from clean run:\n--- reconnect ---\n%s--- clean ---\n%s", got, want)
+	}
+}
+
+// TestCmdEndpointRetryWindowExpires is the complement of the reconnect
+// test: the endpoint dies mid-run and is never restarted, so the writer's
+// -retry-window must expire and the process must fail with a diagnostic
+// rather than hang.
+func TestCmdEndpointRetryWindowExpires(t *testing.T) {
+	bin := buildTool(t, "endpoint")
+	// One writer rank: a second rank would outlive the failure blocked in
+	// the next advance collective until the mpi recv timeout.
+	shape := []string{"-ranks", "1", "-cells", "12", "-steps", "4", "-workload", "histogram", "-queue-depth", "2"}
+
+	doomed, addr, doomedOut := startListener(t, bin, "127.0.0.1:0",
+		append([]string{"-kill-after", "2"}, shape...)...)
+	writerDone := make(chan string, 1)
+	writerErr := make(chan error, 1)
+	go func() {
+		cmd := exec.Command(bin, append([]string{"-connect", addr, "-retry-window", "2s"}, shape...)...)
+		cmd.Dir = t.TempDir()
+		o, err := cmd.CombinedOutput()
+		writerDone <- string(o)
+		writerErr <- err
+	}()
+
+	select {
+	case o := <-doomedOut:
+		if !strings.Contains(o, "injected failure") {
+			t.Fatalf("endpoint did not fail as injected:\n%s", o)
+		}
+	case <-time.After(60 * time.Second):
+		_ = doomed.Process.Kill()
+		t.Fatalf("endpoint never exited")
+	}
+	// No restart: the writer must give up within the window.
+	wo := <-writerDone
+	err := <-writerErr
+	if err == nil {
+		t.Fatalf("writer succeeded with no endpoint to reach:\n%s", wo)
+	}
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() == 0 {
+		t.Fatalf("writer did not exit non-zero: %v\n%s", err, wo)
+	}
+	if !strings.Contains(wo, "could not reach") {
+		t.Fatalf("writer failure lacks the retry-window diagnostic:\n%s", wo)
 	}
 }
 

@@ -58,8 +58,9 @@ type Fabric struct {
 	hub                       *fabric.Hub
 	stats                     *fabric.Stats
 
-	mu      sync.Mutex
-	clients map[int]*fabric.Client
+	mu       sync.Mutex
+	clients  map[int]*fabric.Client
+	wrapConn func(rank int, conn fabric.Conn) fabric.Conn
 }
 
 // loopbackSeq uniquifies in-process fabric names so independent fabrics
@@ -121,6 +122,16 @@ func ListenFabric(network, addr string, nWriters, nReaders, depth int) (*Fabric,
 // Addr returns the address writers dial ("host:port" for tcp).
 func (f *Fabric) Addr() string { return f.addr }
 
+// SetConnWrapper installs a decorator for the writer-side connections (the
+// fault-injection seam; see internal/faultline). It must be called before
+// the first send — clients dial lazily and an already-dialed writer keeps
+// its unwrapped connection.
+func (f *Fabric) SetConnWrapper(w func(rank int, conn fabric.Conn) fabric.Conn) {
+	f.mu.Lock()
+	f.wrapConn = w
+	f.mu.Unlock()
+}
+
 // Stats returns the endpoint-side wire counters.
 func (f *Fabric) Stats() *fabric.Stats { return f.stats }
 
@@ -178,6 +189,7 @@ func (f *Fabric) client(writer int) *fabric.Client {
 			Network: f.network, Addr: f.addr,
 			Rank: writer, Writers: f.nWriters, Readers: f.nReaders, Depth: f.depth,
 			HeartbeatInterval: hb,
+			WrapConn:          f.wrapConn,
 		})
 		f.clients[writer] = c
 	}
@@ -442,7 +454,7 @@ type EndpointResult struct {
 // ends; run it concurrently with the writer group. Reader initialization is
 // timed under "endpoint::initialize" — the phase the paper found an order
 // of magnitude slower on Cori than Titan.
-func RunEndpoint(f *Fabric, configure func(b *core.Bridge) error) (*EndpointResult, error) {
+func RunEndpoint(f *Fabric, configure func(b *core.Bridge) error, opts ...mpi.Option) (*EndpointResult, error) {
 	n := f.Pairs()
 	res := &EndpointResult{Registries: make([]*metrics.Registry, n)}
 	steps := make([]int, n)
@@ -529,7 +541,7 @@ func RunEndpoint(f *Fabric, configure func(b *core.Bridge) error) (*EndpointResu
 			return fmt.Errorf("adios: endpoint rank %d: %d incomplete steps at EOS", c.Rank(), len(pending))
 		}
 		return b.Finalize()
-	})
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}

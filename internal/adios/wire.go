@@ -25,6 +25,9 @@ type WireOptions struct {
 	DrainWindow time.Duration
 	// Stats receives the writer-side wire counters; nil allocates a set.
 	Stats *fabric.Stats
+	// WrapConn decorates each freshly dialed connection (the fault-injection
+	// seam, forwarded to fabric.ClientOptions.WrapConn); nil disables it.
+	WrapConn func(rank int, conn fabric.Conn) fabric.Conn
 }
 
 // WireTransport is the ADIOS staging transport for a writer group whose
@@ -79,6 +82,7 @@ func (t *WireTransport) client(rank int) *fabric.Client {
 			HeartbeatInterval: hb,
 			RetryWindow:       t.o.RetryWindow,
 			Stats:             t.stats,
+			WrapConn:          t.o.WrapConn,
 		})
 		t.clients[rank] = c
 	}

@@ -35,6 +35,11 @@ type ClientOptions struct {
 	Backoff *Backoff
 	// Stats receives the connection's counters; nil allocates a private set.
 	Stats *Stats
+	// WrapConn, when set, decorates every freshly dialed connection before
+	// the handshake — the fault-injection seam (internal/faultline wraps
+	// conns here to kill, truncate, or stall traffic deterministically).
+	// Nil leaves connections untouched.
+	WrapConn func(rank int, conn Conn) Conn
 }
 
 // pendingFrame is one credit-consuming message awaiting release; it is the
@@ -318,6 +323,9 @@ func (c *Client) connect() error {
 		c.mu.Unlock()
 		conn, err := Dial(c.o.Network, c.o.Addr)
 		if err == nil {
+			if c.o.WrapConn != nil {
+				conn = c.o.WrapConn(c.o.Rank, conn)
+			}
 			var w Welcome
 			var fr *FrameReader
 			w, fr, err = DialHello(conn, Hello{

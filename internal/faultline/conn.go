@@ -1,0 +1,179 @@
+package faultline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gosensei/internal/fabric"
+)
+
+// FabricPlan injects connection-level faults into the staging wire by
+// wrapping each writer's connection (fabric.ClientOptions.WrapConn). Faults
+// are indexed by cumulative per-writer-rank counters — dials, writes, reads
+// — that keep counting across reconnects, so a counter passes each target
+// index exactly once and every fault fires at most once per run. Index
+// ranges chosen within one connection epoch's traffic (see Menu) fire
+// exactly once, which keeps the trace replay-identical even though the exact
+// goroutine interleaving around a reconnect differs between runs.
+//
+// Every fault feeds the client's existing reconnect machinery: the wrapper
+// kills the wrapped connection, the recv pump or write path observes the
+// death, and the retry/retransmit/dedup path — the code under test — rides
+// it out.
+type FabricPlan struct {
+	faults []Fault
+	trace  *Trace
+
+	mu     sync.Mutex
+	dials  map[int]int
+	writes map[int]int
+	reads  map[int]int
+}
+
+func newFabricPlan(faults []Fault, trace *Trace) *FabricPlan {
+	return &FabricPlan{
+		faults: faults, trace: trace,
+		dials: map[int]int{}, writes: map[int]int{}, reads: map[int]int{},
+	}
+}
+
+// WrapConn wraps a freshly dialed writer connection; install it as the
+// fabric.ClientOptions.WrapConn hook (or via the adios plumbing). Safe to
+// call on a nil plan (returns conn unchanged).
+func (p *FabricPlan) WrapConn(rank int, conn fabric.Conn) fabric.Conn {
+	if p == nil {
+		return conn
+	}
+	p.mu.Lock()
+	p.dials[rank]++
+	dial := p.dials[rank]
+	drop := false
+	hasFault := false
+	for _, f := range p.faults {
+		if f.arg("rank") != rank {
+			continue
+		}
+		hasFault = true
+		if f.Kind == "hsdrop" && f.arg("dial") == dial {
+			drop = true
+			p.trace.hit(f)
+		}
+	}
+	p.mu.Unlock()
+	if !hasFault {
+		return conn
+	}
+	return &faultConn{Conn: conn, plan: p, rank: rank, dropHello: drop}
+}
+
+// faultConn decorates one connection epoch. The embedded Conn serves
+// Close/addr/deadline calls; Write and Read consult the plan.
+type faultConn struct {
+	fabric.Conn
+	plan *FabricPlan
+	rank int
+	// dropHello makes the first write (the Hello frame) vanish with the
+	// connection: injected handshake loss. Set before the handshake starts,
+	// consumed by the single-threaded dial path.
+	dropHello bool
+}
+
+// writeAction classifies one write against the plan.
+type writeAction int
+
+const (
+	writePass writeAction = iota
+	writeKill
+	writeShort
+	writeSwallow      // blackhole interior: claim success, deliver nothing
+	writeSwallowClose // blackhole end: swallow, then kill the conn
+)
+
+func (p *FabricPlan) writeFault(rank int) (writeAction, string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.writes[rank]++
+	w := p.writes[rank]
+	for _, f := range p.faults {
+		if f.arg("rank") != rank {
+			continue
+		}
+		switch f.Kind {
+		case "kill":
+			if f.arg("write") == w {
+				p.trace.hit(f)
+				return writeKill, f.String()
+			}
+		case "short":
+			if f.arg("write") == w {
+				p.trace.hit(f)
+				return writeShort, f.String()
+			}
+		case "blackhole":
+			start, n := f.arg("write"), f.arg("n")
+			if w >= start && w < start+n {
+				if w == start {
+					p.trace.hit(f)
+				}
+				if w == start+n-1 {
+					return writeSwallowClose, f.String()
+				}
+				return writeSwallow, f.String()
+			}
+		}
+	}
+	return writePass, ""
+}
+
+func (p *FabricPlan) readDelay(rank int) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reads[rank]++
+	r := p.reads[rank]
+	for _, f := range p.faults {
+		if f.Kind == "blackout" && f.arg("rank") == rank && f.arg("read") == r {
+			p.trace.hit(f)
+			return time.Duration(f.arg("ms")) * time.Millisecond
+		}
+	}
+	return 0
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.dropHello {
+		c.dropHello = false
+		_ = c.Conn.Close()
+		return 0, errors.New("faultline: injected handshake loss")
+	}
+	act, spec := c.plan.writeFault(c.rank)
+	switch act {
+	case writeKill:
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("faultline: injected conn kill (%s)", spec)
+	case writeShort:
+		// Half the frame reaches the peer (a CRC/length violation on its
+		// side), then the connection dies under the writer.
+		n, _ := c.Conn.Write(b[:len(b)/2])
+		_ = c.Conn.Close()
+		return n, fmt.Errorf("faultline: injected short write (%s)", spec)
+	case writeSwallow:
+		return len(b), nil
+	case writeSwallowClose:
+		// The swallowed frame "succeeded" as far as the writer knows; only
+		// the connection death tells it something was lost, and only the
+		// release-after-execute retransmit protocol gets the data through.
+		_ = c.Conn.Close()
+		return len(b), nil
+	default:
+		return c.Conn.Write(b)
+	}
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	if d := c.plan.readDelay(c.rank); d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Read(b)
+}

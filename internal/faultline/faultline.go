@@ -1,0 +1,282 @@
+// Package faultline is a seeded, schedule-driven fault injector for the
+// repo's three substrates: the in-process MPI runtime (internal/mpi), the
+// staging wire (internal/fabric), and the file-I/O model (internal/iosim).
+//
+// The discipline is deterministic-simulation testing in the Jepsen /
+// FoundationDB tradition: every fault a run experiences is named by a
+// compact, human-readable schedule string
+//
+//	<seed>:<domain>.<kind>(k=v,...);<domain>.<kind>(...)
+//
+// that parses back to the identical schedule, so any failure observed under
+// injection is replayed — not re-rolled — by exporting
+// GOSENSEI_FAULT_SCHEDULE=<seed:spec> and re-running the test. Schedules are
+// either written by hand or drawn from a seeded generator (Generate), and a
+// running schedule records which faults actually fired (Trace) so two
+// replays of the same schedule can be diffed.
+//
+// Faults are indexed by deterministic per-rank counters (the n-th message on
+// an edge, the n-th write on a connection, the n-th block-file attempt), not
+// by wall-clock time, which is what makes a schedule replayable. The hooks
+// in the substrates are nil-checked pointers: a world, connection, or writer
+// with no injector configured takes the exact pre-faultline code path.
+//
+// Tolerated vs fatal: every fault kind except mpi.crash is tolerated by
+// contract — the stack must produce bit-identical analysis results under it
+// (the metamorphic property the end-to-end suite asserts). mpi.crash is
+// fatal by contract: the run must fail, but it must fail identically on
+// every replay.
+package faultline
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// kindArgs names every fault kind and the canonical order of its integer
+// arguments. Durations are milliseconds ("ms"); counters are 1-based.
+var kindArgs = map[string][]string{
+	// mpi: per-edge message faults (msg = 1-based message index on the
+	// src->dst world-rank edge) and per-rank op faults (op = 1-based send
+	// count of the rank).
+	"mpi.delay":   {"src", "dst", "msg", "ms"}, // sender sleeps before delivery
+	"mpi.dup":     {"src", "dst", "msg"},       // message delivered twice
+	"mpi.reorder": {"src", "dst", "msg"},       // jumps ahead of other senders' queued messages
+	"mpi.stall":   {"rank", "op", "ms"},        // rank sleeps before its op-th send
+	"mpi.crash":   {"rank", "op"},              // rank panics at its op-th send (FATAL)
+
+	// fabric: per-writer-rank connection faults, indexed by cumulative
+	// counters that keep counting across reconnects.
+	"fabric.kill":      {"rank", "write"},      // conn closed at the write-th write
+	"fabric.short":     {"rank", "write"},      // half the frame hits the wire, then the conn dies
+	"fabric.blackhole": {"rank", "write", "n"}, // n writes vanish "successfully", then the conn dies
+	"fabric.hsdrop":    {"rank", "dial"},       // the dial-th handshake is dropped
+	"fabric.blackout":  {"rank", "read", "ms"}, // the read-th read stalls for ms
+
+	// io: per-rank block-file faults, indexed by cumulative attempt
+	// counters (retries count as attempts).
+	"io.enospc":    {"rank", "op", "n"},  // n consecutive write attempts fail like a full OST
+	"io.shortread": {"rank", "op"},       // the op-th read attempt sees a truncated file
+	"io.fsync":     {"rank", "op", "ms"}, // the op-th write attempt stalls for ms (fsync spike)
+}
+
+// Fault is one injected event. Args follow the canonical order in kindArgs.
+type Fault struct {
+	Domain string // "mpi", "fabric", "io"
+	Kind   string // e.g. "delay", "kill", "enospc"
+	Args   []int
+}
+
+// Name returns the qualified kind, e.g. "mpi.delay".
+func (f Fault) Name() string { return f.Domain + "." + f.Kind }
+
+// Fatal reports whether the fault is fatal by contract: the run is expected
+// to fail (deterministically) rather than tolerate it.
+func (f Fault) Fatal() bool { return f.Name() == "mpi.crash" }
+
+// arg returns the named argument; it panics on an unknown name, which is a
+// programming error (Parse validates every fault against kindArgs).
+func (f Fault) arg(name string) int {
+	for i, n := range kindArgs[f.Name()] {
+		if n == name {
+			return f.Args[i]
+		}
+	}
+	panic(fmt.Sprintf("faultline: fault %s has no argument %q", f.Name(), name))
+}
+
+// String renders the canonical form, e.g. "mpi.delay(src=0,dst=1,msg=3,ms=2)".
+func (f Fault) String() string {
+	var b strings.Builder
+	b.WriteString(f.Name())
+	b.WriteByte('(')
+	for i, n := range kindArgs[f.Name()] {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(f.Args[i]))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Schedule is a seed plus an ordered fault list. The zero fault list is a
+// valid (fault-free) schedule.
+type Schedule struct {
+	Seed   int64
+	Faults []Fault
+}
+
+// String renders the canonical "<seed>:<fault>;<fault>" form; Parse is its
+// exact inverse, so String output is the replay token tests print on
+// failure.
+func (s *Schedule) String() string {
+	parts := make([]string, len(s.Faults))
+	for i, f := range s.Faults {
+		parts[i] = f.String()
+	}
+	return strconv.FormatInt(s.Seed, 10) + ":" + strings.Join(parts, ";")
+}
+
+// Fatal reports whether any fault in the schedule is fatal by contract.
+func (s *Schedule) Fatal() bool {
+	for _, f := range s.Faults {
+		if f.Fatal() {
+			return true
+		}
+	}
+	return false
+}
+
+// Parse decodes a canonical schedule string. It is strict: argument names
+// must appear in canonical order, so Parse(s.String()) round-trips and two
+// textually different schedules are genuinely different.
+func Parse(spec string) (*Schedule, error) {
+	seedStr, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("faultline: schedule %q has no seed separator ':'", spec)
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("faultline: schedule seed %q: %w", seedStr, err)
+	}
+	s := &Schedule{Seed: seed}
+	if rest == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(rest, ";") {
+		f, err := parseFault(part)
+		if err != nil {
+			return nil, err
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	return s, nil
+}
+
+func parseFault(part string) (Fault, error) {
+	name, argsStr, ok := strings.Cut(part, "(")
+	if !ok || !strings.HasSuffix(argsStr, ")") {
+		return Fault{}, fmt.Errorf("faultline: fault %q: want name(args)", part)
+	}
+	argsStr = strings.TrimSuffix(argsStr, ")")
+	names, known := kindArgs[name]
+	if !known {
+		return Fault{}, fmt.Errorf("faultline: unknown fault kind %q", name)
+	}
+	domain, kind, _ := strings.Cut(name, ".")
+	f := Fault{Domain: domain, Kind: kind}
+	fields := strings.Split(argsStr, ",")
+	if len(fields) != len(names) {
+		return Fault{}, fmt.Errorf("faultline: fault %q: want %d args %v, got %d", part, len(names), names, len(fields))
+	}
+	for i, field := range fields {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok || k != names[i] {
+			return Fault{}, fmt.Errorf("faultline: fault %q: arg %d must be %s=<int>", part, i, names[i])
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return Fault{}, fmt.Errorf("faultline: fault %q: arg %s: %w", part, k, err)
+		}
+		if n < 0 {
+			return Fault{}, fmt.Errorf("faultline: fault %q: arg %s must be non-negative", part, k)
+		}
+		f.Args = append(f.Args, n)
+	}
+	return f, nil
+}
+
+// Menu bounds what Generate may draw: which substrates to hit and the
+// geometry (world size, step count) that keeps generated counter indices in
+// the range a pipeline actually reaches — a fault indexed past the run's
+// last event never fires, which is legal but useless.
+type Menu struct {
+	MPI, Fabric, IO bool
+	// Ranks is the world size (>= 2 when MPI is enabled: edge faults need
+	// two distinct ranks). Steps is the pipeline's step count.
+	Ranks, Steps int
+	// MaxFaults caps the faults per schedule; 0 means 4. Generate draws
+	// between 2 and MaxFaults.
+	MaxFaults int
+}
+
+// Generate draws a seeded, tolerated-only schedule from the menu: same seed
+// and menu, same schedule, on every platform. Fatal kinds (mpi.crash) are
+// never generated — they are for hand-written schedules that assert
+// deterministic failure.
+func Generate(seed int64, m Menu) *Schedule {
+	if m.Ranks < 2 || m.Steps < 1 {
+		panic(fmt.Sprintf("faultline: menu needs ranks>=2 and steps>=1, got ranks=%d steps=%d", m.Ranks, m.Steps))
+	}
+	var kinds []string
+	if m.MPI {
+		kinds = append(kinds, "mpi.delay", "mpi.dup", "mpi.reorder", "mpi.stall")
+	}
+	if m.Fabric {
+		kinds = append(kinds, "fabric.kill", "fabric.short", "fabric.blackhole", "fabric.hsdrop", "fabric.blackout")
+	}
+	if m.IO {
+		kinds = append(kinds, "io.enospc", "io.shortread", "io.fsync")
+	}
+	if len(kinds) == 0 {
+		panic("faultline: menu enables no fault domain")
+	}
+	maxFaults := m.MaxFaults
+	if maxFaults == 0 {
+		maxFaults = 4
+	}
+	if maxFaults < 2 {
+		maxFaults = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(maxFaults-1)
+	s := &Schedule{Seed: seed}
+	for i := 0; i < n; i++ {
+		s.Faults = append(s.Faults, genFault(rng, kinds[rng.Intn(len(kinds))], m))
+	}
+	return s
+}
+
+func genFault(rng *rand.Rand, name string, m Menu) Fault {
+	domain, kind, _ := strings.Cut(name, ".")
+	f := Fault{Domain: domain, Kind: kind}
+	// Argument ranges are chosen so the pipeline's cumulative counters
+	// always pass the generated index (every fault fires exactly once):
+	// each rank sends well over Steps messages per run, each fabric conn
+	// sees at least Hello + Steps data frames + EOS writes and as many
+	// reads (Welcome + one Release per message), and each io rank makes at
+	// least Steps write and read attempts.
+	rank := rng.Intn(m.Ranks)
+	switch name {
+	case "mpi.delay":
+		dst := (rank + 1 + rng.Intn(m.Ranks-1)) % m.Ranks
+		f.Args = []int{rank, dst, 1 + rng.Intn(m.Steps*4), 1 + rng.Intn(3)}
+	case "mpi.dup", "mpi.reorder":
+		dst := (rank + 1 + rng.Intn(m.Ranks-1)) % m.Ranks
+		f.Args = []int{rank, dst, 1 + rng.Intn(m.Steps*4)}
+	case "mpi.stall":
+		f.Args = []int{rank, 1 + rng.Intn(m.Steps*4), 1 + rng.Intn(3)}
+	case "fabric.kill", "fabric.short":
+		f.Args = []int{rank, 2 + rng.Intn(m.Steps+1)}
+	case "fabric.blackhole":
+		f.Args = []int{rank, 2 + rng.Intn(m.Steps), 1 + rng.Intn(2)}
+	case "fabric.hsdrop":
+		f.Args = []int{rank, 1}
+	case "fabric.blackout":
+		f.Args = []int{rank, 1 + rng.Intn(m.Steps+1), 1 + rng.Intn(5)}
+	case "io.enospc":
+		f.Args = []int{rank, 1 + rng.Intn(m.Steps), 1 + rng.Intn(2)}
+	case "io.shortread":
+		f.Args = []int{rank, 1 + rng.Intn(m.Steps)}
+	case "io.fsync":
+		f.Args = []int{rank, 1 + rng.Intn(m.Steps), 1 + rng.Intn(5)}
+	default:
+		panic("faultline: genFault: unknown kind " + name)
+	}
+	return f
+}

@@ -1,0 +1,233 @@
+package faultline
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"42:mpi.delay(src=0,dst=1,msg=3,ms=2)",
+		"7:mpi.dup(src=1,dst=0,msg=5);mpi.reorder(src=0,dst=1,msg=2)",
+		"0:fabric.kill(rank=0,write=4);fabric.blackhole(rank=1,write=2,n=2)",
+		"1:fabric.hsdrop(rank=0,dial=1);fabric.blackout(rank=1,read=3,ms=5);fabric.short(rank=0,write=2)",
+		"99:io.enospc(rank=0,op=1,n=2);io.shortread(rank=1,op=2);io.fsync(rank=0,op=3,ms=4)",
+		"-3:mpi.crash(rank=1,op=7)",
+		"5:",
+	}
+	for _, spec := range specs {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := s.String(); got != spec {
+			t.Errorf("round trip: %q -> %q", spec, got)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",                                  // no seed separator
+		"x:mpi.dup(src=0,dst=1,msg=1)",      // bad seed
+		"1:mpi.bogus(src=0)",                // unknown kind
+		"1:mpi.dup(src=0,dst=1)",            // missing arg
+		"1:mpi.dup(dst=1,src=0,msg=1)",      // non-canonical order
+		"1:mpi.dup(src=0,dst=1,msg=x)",      // non-integer
+		"1:mpi.dup(src=0,dst=1,msg=-1)",     // negative
+		"1:mpi.dup src=0",                   // no parens
+		"1:mpi.dup(src=0,dst=1,msg=1,ms=1)", // extra arg
+		"1:io.enospc(rank=0,op=1,n=1);x",    // trailing junk fault
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestGenerateIsDeterministicAndRoundTrips(t *testing.T) {
+	m := Menu{MPI: true, Fabric: true, IO: true, Ranks: 2, Steps: 3}
+	for seed := int64(0); seed < 200; seed++ {
+		a := Generate(seed, m)
+		b := Generate(seed, m)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: generation not deterministic:\n%s\n%s", seed, a, b)
+		}
+		if len(a.Faults) < 2 || len(a.Faults) > 4 {
+			t.Fatalf("seed %d: %d faults outside [2,4]", seed, len(a.Faults))
+		}
+		if a.Fatal() {
+			t.Fatalf("seed %d: generated schedule contains a fatal fault: %s", seed, a)
+		}
+		back, err := Parse(a.String())
+		if err != nil {
+			t.Fatalf("seed %d: Parse(Generate.String): %v", seed, err)
+		}
+		if !reflect.DeepEqual(a, back) {
+			t.Fatalf("seed %d: parse-back mismatch:\n%#v\n%#v", seed, a, back)
+		}
+	}
+}
+
+func TestGenerateCoversEveryEnabledKind(t *testing.T) {
+	m := Menu{MPI: true, Fabric: true, IO: true, Ranks: 2, Steps: 3}
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 500; seed++ {
+		for _, f := range Generate(seed, m).Faults {
+			seen[f.Name()] = true
+		}
+	}
+	for kind := range kindArgs {
+		if kind == "mpi.crash" {
+			if seen[kind] {
+				t.Fatalf("generator produced the fatal kind %s", kind)
+			}
+			continue
+		}
+		if !seen[kind] {
+			t.Errorf("500 seeds never produced kind %s", kind)
+		}
+	}
+}
+
+func TestFatalClassification(t *testing.T) {
+	s, err := Parse("1:mpi.stall(rank=0,op=1,ms=1);mpi.crash(rank=1,op=2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Fatal() {
+		t.Error("schedule with mpi.crash must be Fatal")
+	}
+	if s.Faults[0].Fatal() || !s.Faults[1].Fatal() {
+		t.Error("only mpi.crash is fatal")
+	}
+}
+
+func TestTraceLinesSortedMultiset(t *testing.T) {
+	tr := &Trace{hits: map[string]int{}}
+	f1, _ := parseFault("mpi.dup(src=0,dst=1,msg=2)")
+	f2, _ := parseFault("fabric.kill(rank=0,write=3)")
+	tr.hit(f2)
+	tr.hit(f1)
+	tr.hit(f2)
+	want := []string{"fabric.kill(rank=0,write=3) x2", "mpi.dup(src=0,dst=1,msg=2) x1"}
+	if got := tr.Lines(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Lines() = %v, want %v", got, want)
+	}
+}
+
+func TestRunPlansNilWhenDomainEmpty(t *testing.T) {
+	s, err := Parse("3:mpi.dup(src=0,dst=1,msg=2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Start()
+	if r.NewMPIPlan() == nil {
+		t.Error("mpi plan must exist for an mpi schedule")
+	}
+	if r.FabricPlan() != nil || r.IOPlan() != nil {
+		t.Error("fabric/io plans must be nil when the schedule has no such faults")
+	}
+	var nilRun *Run
+	if nilRun.NewMPIPlan() != nil || nilRun.FabricPlan() != nil || nilRun.IOPlan() != nil || nilRun.TraceLines() != nil {
+		t.Error("nil *Run accessors must all return nil")
+	}
+}
+
+func TestMPIPlanCountersAndTrace(t *testing.T) {
+	s, err := Parse("1:mpi.dup(src=0,dst=1,msg=2);mpi.stall(rank=1,op=1,ms=1);mpi.crash(rank=0,op=3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Start()
+	p := r.NewMPIPlan()
+	if f := p.BeforeSend(0, 1, 9); f.Dup || f.Seq != 1 {
+		t.Fatalf("msg 1 on edge 0->1: got %+v", f)
+	}
+	if f := p.BeforeSend(0, 1, 9); !f.Dup || f.Seq != 2 {
+		t.Fatalf("msg 2 on edge 0->1 must dup: got %+v", f)
+	}
+	if f := p.BeforeSend(1, 0, 9); f.Stall == 0 {
+		t.Fatalf("rank 1 op 1 must stall: got %+v", f)
+	}
+	if f := p.BeforeSend(0, 1, 9); f.Crash == "" || !strings.Contains(f.Crash, "mpi.crash(rank=0,op=3)") {
+		t.Fatalf("rank 0 op 3 must crash: got %+v", f)
+	}
+	// A second world's plan restarts the counters but shares the trace.
+	p2 := r.NewMPIPlan()
+	if f := p2.BeforeSend(0, 1, 9); f.Dup || f.Seq != 1 {
+		t.Fatalf("fresh plan must restart edge counters: got %+v", f)
+	}
+	want := []string{
+		"mpi.crash(rank=0,op=3) x1",
+		"mpi.dup(src=0,dst=1,msg=2) x1",
+		"mpi.stall(rank=1,op=1,ms=1) x1",
+	}
+	if got := r.TraceLines(); !reflect.DeepEqual(got, want) {
+		t.Errorf("trace = %v, want %v", got, want)
+	}
+}
+
+func TestIOPlanAttemptIndexing(t *testing.T) {
+	s, err := Parse("1:io.enospc(rank=0,op=2,n=2);io.fsync(rank=1,op=1,ms=3);io.shortread(rank=0,op=1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Start().IOPlan()
+	if a := p.BlockWrite(0); a.ENOSPC {
+		t.Error("rank 0 write attempt 1 must pass")
+	}
+	if a := p.BlockWrite(0); !a.ENOSPC {
+		t.Error("rank 0 write attempt 2 must fail")
+	}
+	if a := p.BlockWrite(0); !a.ENOSPC {
+		t.Error("rank 0 write attempt 3 must fail (n=2)")
+	}
+	if a := p.BlockWrite(0); a.ENOSPC {
+		t.Error("rank 0 write attempt 4 must pass again")
+	}
+	if a := p.BlockWrite(1); a.Delay == 0 {
+		t.Error("rank 1 write attempt 1 must carry the fsync delay")
+	}
+	if a := p.BlockRead(0); !a.ShortRead {
+		t.Error("rank 0 read attempt 1 must be short")
+	}
+	if a := p.BlockRead(0); a.ShortRead {
+		t.Error("rank 0 read attempt 2 must pass")
+	}
+}
+
+// TestGeneratedArgRangesStayInBounds pins the generator's promise that the
+// indices it draws are reachable by a Ranks x Steps pipeline (see the
+// comment in genFault); the e2e suite relies on it for exactly-once traces.
+func TestGeneratedArgRangesStayInBounds(t *testing.T) {
+	m := Menu{MPI: true, Fabric: true, IO: true, Ranks: 3, Steps: 4}
+	for seed := int64(0); seed < 300; seed++ {
+		for _, f := range Generate(seed, m).Faults {
+			for i, name := range kindArgs[f.Name()] {
+				v := f.Args[i]
+				switch name {
+				case "src", "dst", "rank":
+					if v < 0 || v >= m.Ranks {
+						t.Fatalf("seed %d: %s: %s=%d out of rank range", seed, f, name, v)
+					}
+				case "msg", "op":
+					if v < 1 || v > m.Steps*4 {
+						t.Fatalf("seed %d: %s: %s=%d out of range", seed, f, name, v)
+					}
+				case "write", "read", "dial", "n", "ms":
+					if v < 1 || v > m.Steps+2 {
+						t.Fatalf("seed %d: %s: %s=%d out of range", seed, f, name, v)
+					}
+				}
+			}
+			if f.Name() == "mpi.delay" || f.Name() == "mpi.dup" || f.Name() == "mpi.reorder" {
+				if f.arg("src") == f.arg("dst") {
+					t.Fatalf("seed %d: %s: self-edge", seed, f)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -89,7 +90,7 @@ func TestDecomposeRegularCoversDomain(t *testing.T) {
 		gx, gy, gz := global.Dims()
 		return totalCells == (gx-1)*(gy-1)*(gz-1)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(21))}); err != nil {
 		t.Fatal(err)
 	}
 }

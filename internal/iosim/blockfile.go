@@ -100,11 +100,33 @@ func ReadBlock(r io.Reader) (*grid.ImageData, int, float64, error) {
 }
 
 // WriteBlockFile writes a block to its canonical path, creating dir.
+// Injected failures (ENOSPC, fsync spikes — see SetFaults) are retried up to
+// maxBlockAttempts times before the error is surfaced; real filesystem
+// errors surface immediately.
 func WriteBlockFile(dir string, rank int, img *grid.ImageData, step int, time float64) (int64, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, fmt.Errorf("iosim: %w", err)
 	}
 	path := BlockPath(dir, step, rank)
+	var lastErr error
+	for attempt := 0; attempt < maxBlockAttempts; attempt++ {
+		if fi := currentFaults(); fi != nil {
+			act := fi.BlockWrite(rank)
+			if act.Delay > 0 {
+				sleepFor(act.Delay)
+			}
+			if act.ENOSPC {
+				lastErr = fmt.Errorf("iosim: write %s: %w", path, ErrNoSpace)
+				continue
+			}
+		}
+		return writeBlockFileOnce(path, img, step, time)
+	}
+	return 0, fmt.Errorf("iosim: giving up on %s after %d attempts: %w", path, maxBlockAttempts, lastErr)
+}
+
+// writeBlockFileOnce is one un-retried write of the block file.
+func writeBlockFileOnce(path string, img *grid.ImageData, step int, time float64) (int64, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return 0, fmt.Errorf("iosim: %w", err)
@@ -126,15 +148,42 @@ func WriteBlockFile(dir string, rank int, img *grid.ImageData, step int, time fl
 	return st.Size(), nil
 }
 
-// ReadBlockFile reads the block for one (step, rank) pair.
+// ReadBlockFile reads the block for one (step, rank) pair. An injected
+// short read (the attempt sees a truncated stream) is retried up to
+// maxBlockAttempts times; real errors surface immediately.
 func ReadBlockFile(dir string, step, rank int) (*grid.ImageData, int, float64, error) {
-	f, err := os.Open(BlockPath(dir, step, rank))
-	if err != nil {
-		return nil, 0, 0, fmt.Errorf("iosim: %w", err)
+	path := BlockPath(dir, step, rank)
+	var lastErr error
+	for attempt := 0; attempt < maxBlockAttempts; attempt++ {
+		var act FaultAction
+		if fi := currentFaults(); fi != nil {
+			act = fi.BlockRead(rank)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("iosim: %w", err)
+		}
+		if act.ShortRead {
+			// Serve this attempt from half the file: the gob stream ends
+			// mid-value and the decode error drives the retry.
+			st, serr := f.Stat()
+			if serr != nil {
+				_ = f.Close()
+				return nil, 0, 0, fmt.Errorf("iosim: %w", serr)
+			}
+			_, _, _, derr := ReadBlock(io.LimitReader(f, st.Size()/2))
+			_ = f.Close()
+			if derr == nil {
+				derr = fmt.Errorf("iosim: short read of %s decoded cleanly", path)
+			}
+			lastErr = fmt.Errorf("iosim: injected short read of %s: %w", path, derr)
+			continue
+		}
+		img, st, tm, err := ReadBlock(f)
+		_ = f.Close()
+		return img, st, tm, err
 	}
-	//lint:ignore unchecked-close read-only file: no written bytes can be lost, and decode errors already surface from ReadBlock
-	defer f.Close()
-	return ReadBlock(f)
+	return nil, 0, 0, fmt.Errorf("iosim: giving up on %s after %d attempts: %w", path, maxBlockAttempts, lastErr)
 }
 
 // ListSteps scans dir and returns the sorted distinct step indices present.

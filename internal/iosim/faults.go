@@ -1,0 +1,67 @@
+package iosim
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrNoSpace is the error injected write attempts fail with — the ENOSPC a
+// full OST returns on a real parallel filesystem.
+var ErrNoSpace = errors.New("iosim: injected ENOSPC (no space left on device)")
+
+// FaultAction is what the injector decides for one block-file attempt; the
+// zero value is "no fault".
+type FaultAction struct {
+	// ENOSPC fails a write attempt before any byte reaches the filesystem.
+	ENOSPC bool
+	// ShortRead truncates a read attempt mid-stream (the file itself stays
+	// intact — only this attempt sees half of it).
+	ShortRead bool
+	// Delay stalls the attempt first: an fsync latency spike.
+	Delay time.Duration
+}
+
+// FaultInjector is consulted once per block-file attempt, keyed by the block
+// rank. Implementations must be safe for concurrent use (ranks write in
+// parallel); see internal/faultline.
+type FaultInjector interface {
+	BlockWrite(rank int) FaultAction
+	BlockRead(rank int) FaultAction
+}
+
+// faultsMu guards the process-wide injector. Block-file traffic is a few
+// calls per rank per step, so a mutex-guarded pointer read is free at this
+// granularity and keeps the disabled path allocation-free.
+var (
+	faultsMu sync.Mutex
+	faults   FaultInjector
+)
+
+// SetFaults installs (or, with nil, clears) the process-wide block-file
+// fault injector and returns the previous one; callers restore it when their
+// run ends.
+func SetFaults(fi FaultInjector) FaultInjector {
+	faultsMu.Lock()
+	prev := faults
+	faults = fi
+	faultsMu.Unlock()
+	return prev
+}
+
+func currentFaults() FaultInjector {
+	faultsMu.Lock()
+	fi := faults
+	faultsMu.Unlock()
+	return fi
+}
+
+// sleepFor stalls an attempt; a named helper because the block-file
+// functions shadow the time package with their simulation-time parameter.
+func sleepFor(d time.Duration) { time.Sleep(d) }
+
+// maxBlockAttempts bounds the retry loop around one block-file operation.
+// Injected failures burn attempts; a schedule that keeps consecutive
+// failures below the budget is tolerated by contract (the block lands and
+// the analysis output is unchanged), one that exhausts it is a hard error.
+const maxBlockAttempts = 4

@@ -147,8 +147,8 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer, cfg *Config) *Result
 	sup := newSuppressionIndex()
 	res := &Result{Packages: len(pkgs)}
 	for _, pkg := range pkgs {
-		res.Files += len(pkg.Files)
-		for _, f := range pkg.Files {
+		res.Files += len(pkg.Files) + len(pkg.TestFiles)
+		for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
 			dirs, malformed := parseIgnores(l.Fset, f, l.ModuleRoot)
 			raw = append(raw, malformed...)
 			file := l.Fset.Position(f.Pos()).Filename

@@ -20,6 +20,11 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// TestFiles are the package's _test.go files (internal and external
+	// test packages alike), parsed but NOT type-checked: rules that cover
+	// them must work syntactically. Suppression comments in test files are
+	// honored like any other.
+	TestFiles []*ast.File
 }
 
 // Loader parses and type-checks module packages using only the standard
@@ -154,7 +159,19 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
 	}
-	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	testNames, err := goTestFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	var testFiles []*ast.File
+	for _, name := range testNames {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		testFiles = append(testFiles, f)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info, TestFiles: testFiles}
 	l.cache[path] = p
 	return p, nil
 }
@@ -172,6 +189,22 @@ func goFilesIn(dir string) ([]string, error) {
 			continue
 		}
 		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// goTestFilesIn lists the _test.go files of dir, sorted for determinism.
+func goTestFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names, nil

@@ -19,6 +19,11 @@ var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 // are the sanctioned way to get randomness in a deterministic kernel.
 var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
 
+// quickFuncs are the testing/quick entry points that take a *quick.Config;
+// calling them with a nil config (or one without a Rand) draws a wall-clock
+// seed, so a failing property cannot be replayed.
+var quickFuncs = map[string]bool{"Check": true, "CheckEqual": true}
+
 // NondeterminismAnalyzer builds the nondeterminism rule.
 func NondeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
@@ -29,6 +34,7 @@ func NondeterminismAnalyzer() *Analyzer {
 }
 
 func runNondeterminism(p *Pass) {
+	runNondetTestFiles(p)
 	if !pkgInScope(p.Pkg.Path, p.Cfg.DeterministicPkgs) {
 		return
 	}
@@ -63,6 +69,115 @@ func runNondeterminism(p *Pass) {
 			return true
 		})
 	}
+}
+
+// runNondetTestFiles covers _test.go files, which are parsed but never
+// type-checked (external test packages cannot be), so everything here is
+// syntactic: identifiers are resolved through each file's import table and a
+// local rebinding of a package name would evade the checks — acceptable for
+// test hygiene. Two classes of findings:
+//
+//   - in the deterministic kernel packages, the same clock and global
+//     math/rand bans as production code (ClockAllowedFiles still exempts):
+//     a flaky test of a pure kernel is as bad as an impure kernel;
+//   - in EVERY package, quick.Check/CheckEqual with a nil config or a
+//     &quick.Config{...} literal missing a Rand key — the implicit
+//     wall-clock seed means a property-test failure cannot be replayed,
+//     exactly the bug class faultline's repro tokens exist to kill.
+func runNondetTestFiles(p *Pass) {
+	inKernel := pkgInScope(p.Pkg.Path, p.Cfg.DeterministicPkgs)
+	for _, f := range p.Pkg.TestFiles {
+		file := p.Fset.Position(f.Pos()).Filename
+		clockOK := false
+		for _, allowed := range p.Cfg.ClockAllowedFiles {
+			if strings.HasSuffix(file, allowed) {
+				clockOK = true
+			}
+		}
+		imports := fileImportNames(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkQuickConfig(p, imports, n)
+			case *ast.SelectorExpr:
+				if !inKernel {
+					return true
+				}
+				id, ok := n.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				switch imports[id.Name] {
+				case "time":
+					if clockFuncs[n.Sel.Name] && !clockOK {
+						p.Reportf(n.Pos(), "time.%s in a test of deterministic kernel package %s; tests must replay bit-identically — derive inputs from fixed seeds", n.Sel.Name, p.Pkg.Path)
+					}
+				case "math/rand", "math/rand/v2":
+					if !seededRandFuncs[n.Sel.Name] {
+						p.Reportf(n.Pos(), "global math/rand.%s in a test of deterministic kernel package %s; use rand.New(rand.NewSource(seed)) so failures replay", n.Sel.Name, p.Pkg.Path)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkQuickConfig flags quick.Check/CheckEqual calls whose config argument
+// is nil or a &quick.Config{...} literal with no Rand key. Configs built in
+// variables are syntactically undecidable and are left alone.
+func checkQuickConfig(p *Pass, imports map[string]string, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !quickFuncs[sel.Sel.Name] {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || imports[id.Name] != "testing/quick" || len(call.Args) == 0 {
+		return
+	}
+	cfg := call.Args[len(call.Args)-1]
+	if lit, ok := cfg.(*ast.Ident); ok && lit.Name == "nil" {
+		p.Reportf(cfg.Pos(), "quick.%s with a nil config draws a wall-clock seed; pass &quick.Config{Rand: rand.New(rand.NewSource(seed))} so failures replay", sel.Sel.Name)
+		return
+	}
+	un, ok := cfg.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return
+	}
+	composite, ok := un.X.(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	for _, elt := range composite.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if k, ok := kv.Key.(*ast.Ident); ok && k.Name == "Rand" {
+				return
+			}
+		}
+	}
+	p.Reportf(cfg.Pos(), "quick.%s config has no Rand, so the seed comes from the wall clock; set Rand: rand.New(rand.NewSource(seed)) so failures replay", sel.Sel.Name)
+}
+
+// fileImportNames maps each local package identifier in f to the import path
+// it binds — the syntactic stand-in for types.Info in unchecked test files.
+// Dot and blank imports bind no identifier and are skipped.
+func fileImportNames(f *ast.File) map[string]string {
+	out := make(map[string]string, len(f.Imports))
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				continue
+			}
+			name = imp.Name.Name
+		}
+		out[name] = path
+	}
+	return out
 }
 
 // checkMapRange flags `for k := range m` over a map when the loop body feeds

@@ -1,0 +1,41 @@
+// Test-file coverage of the nondeterminism rule: _test.go files are parsed
+// but not type-checked, so these findings come from the syntactic pass.
+package nondet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestUnseededQuick exercises the quick.Check config checks, which apply to
+// every package's tests, kernel or not.
+func TestUnseededQuick(t *testing.T) {
+	prop := func(x int) bool { return x == x }
+	if err := quick.Check(prop, nil); err != nil { // want nondeterminism
+		t.Fatal(err)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 4}); err != nil { // want nondeterminism
+		t.Fatal(err)
+	}
+	if err := quick.CheckEqual(prop, prop, nil); err != nil { // want nondeterminism
+		t.Fatal(err)
+	}
+	// Seeded: replayable, not a finding.
+	if err := quick.Check(prop, &quick.Config{MaxCount: 4, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKernelHygiene exercises the kernel-package bans inside a test file:
+// clocks and the global rand source are as forbidden here as in production.
+func TestKernelHygiene(t *testing.T) {
+	start := time.Now() // want nondeterminism
+	_ = start
+	x := rand.Intn(10) // want nondeterminism
+	_ = x
+	// Explicitly seeded generators are the sanctioned source.
+	r := rand.New(rand.NewSource(7))
+	_ = r.Intn(10)
+}

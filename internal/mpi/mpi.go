@@ -43,19 +43,27 @@ const (
 // detection shrink it via World options.
 const DefaultRecvTimeout = 120 * time.Second
 
-// message is a single in-flight point-to-point message.
+// message is a single in-flight point-to-point message. seq and wsrc are
+// only set on the fault-injection path (see faults.go): seq is the per-edge
+// delivery sequence used to discard injected duplicates, wsrc the sender's
+// world rank keying that tracking.
 type message struct {
-	src     int // world rank of sender
+	src     int // rank of sender within the communicator
 	tag     int
 	ctx     int // communicator context id
 	payload any // copied slice
+	seq     uint64
+	wsrc    int
 }
 
-// mailbox holds pending messages for one world rank.
+// mailbox holds pending messages for one world rank. high is the per-sender
+// dedup high-water mark, allocated lazily by the fault-injection path and
+// nil on every fault-free run.
 type mailbox struct {
 	mu      sync.Mutex
 	pending []message
 	waiters []chan struct{}
+	high    map[int]uint64
 }
 
 func (m *mailbox) put(msg message) {
@@ -167,6 +175,7 @@ type World struct {
 	traffic     []trafficCounters
 	nextCtx     atomic.Int64
 	recvTimeout time.Duration
+	faults      FaultInjector
 }
 
 // Traffic is a snapshot of one rank's point-to-point odometers. Collectives
@@ -287,6 +296,10 @@ func Run(n int, f func(c *Comm) error, opts ...Option) error {
 func (c *Comm) send(dest, tag int, payload any) {
 	if dest < 0 || dest >= c.size {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d (size %d)", dest, c.size))
+	}
+	if c.world.faults != nil {
+		c.sendFaulty(dest, tag, payload)
+		return
 	}
 	c.world.boxes[c.group[dest]].put(message{src: c.rank, tag: tag, ctx: c.ctx, payload: payload})
 }
