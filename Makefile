@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build vet fmt-check lint test bench bench-smoke bench-collectives fabric-smoke faultline-smoke fuzz-smoke race cover experiments examples clean
+.PHONY: all check build vet fmt-check lint test bench bench-smoke bench-collectives bench-wire fabric-smoke faultline-smoke fuzz-smoke race cover experiments examples clean
 
 all: build vet lint test
 
-check: build vet fmt-check lint test race bench-smoke bench-collectives fabric-smoke faultline-smoke fuzz-smoke
+check: build vet fmt-check lint test race bench-smoke bench-collectives bench-wire fabric-smoke faultline-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,14 @@ bench-smoke:
 # (BENCH_4.json is the stable-timing sweep of the same benchmarks).
 bench-collectives:
 	$(GO) test -run XXX -bench 'BenchmarkCollectives|BenchmarkFusedMinMax' -benchtime=1x -benchmem ./internal/mpi/
+
+# Bytes on the wire for oscillator -> histogram staging: raw containers vs
+# delta+flate codecs vs extract shipping, at queue depths 1 and 4, plus the
+# bulk BP serializer vs its binary.Write baseline (BENCH_6.json pins the
+# stable-timing sweep and the reduction ratios).
+bench-wire:
+	$(GO) test -run XXX -bench 'BenchmarkWireStaging' -benchtime=1x ./internal/adios/
+	$(GO) test -run XXX -bench 'BenchmarkBPEncode|BenchmarkBPDecode' -benchtime=1x -benchmem ./internal/adios/
 
 # The wire end to end under the race detector: staging fan-in, backpressure,
 # endpoint restart, and the two-OS-process TCP deployment.

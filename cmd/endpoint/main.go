@@ -24,12 +24,23 @@
 //	endpoint -ranks 8 -steps 20 -workload catalyst-slice -outdir ./frames
 //	endpoint -listen 127.0.0.1:9917 -ranks 4 -steps 10        # terminal 1
 //	endpoint -connect 127.0.0.1:9917 -ranks 4 -steps 10       # terminal 2
+//
+// The endpoint can negotiate bandwidth reduction with protocol-v2 writers:
+// -codec delta XOR-deltas each step against the previous one and DEFLATEs
+// the result, and -extract histogram:data:10 ships only per-writer histogram
+// partials instead of full containers. Either way the analysis output stays
+// bit-identical to raw staging; the "data bytes ... logical / ... wire" line
+// in the fabric summary shows what the negotiation bought.
+//
+//	endpoint -listen 127.0.0.1:9917 -codec delta -extract histogram:data:10
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,6 +48,7 @@ import (
 	"gosensei/internal/analysis"
 	"gosensei/internal/catalyst"
 	"gosensei/internal/core"
+	"gosensei/internal/fabric"
 	"gosensei/internal/faultline"
 	"gosensei/internal/grid"
 	"gosensei/internal/metrics"
@@ -54,6 +66,10 @@ type options struct {
 	retryWindow                time.Duration
 	faults                     string
 	frun                       *faultline.Run
+	codec, extract             string
+	codecs                     []uint8 // endpoint preference order
+	codecMask                  uint32  // writer-side offer (-connect)
+	extractSpec                *fabric.ExtractSpec
 }
 
 func main() {
@@ -71,7 +87,35 @@ func main() {
 	flag.IntVar(&o.killAfter, "kill-after", 0, "with -listen: exit(3) after this many executed steps (failure injection)")
 	flag.DurationVar(&o.retryWindow, "retry-window", 15*time.Second, "with -connect: how long writers ride out a dead endpoint")
 	flag.StringVar(&o.faults, "faults", "", "fault-injection schedule <seed:spec> applied to the writer group (see internal/faultline)")
+	flag.StringVar(&o.codec, "codec", "", "wire codec preference, comma separated: raw | flate | delta (default raw; with -connect, the set offered to the endpoint)")
+	flag.StringVar(&o.extract, "extract", "", "ship a reduced product instead of full containers: histogram:<array>:<bins> | slice:<axis>:<coord>:<array>")
 	flag.Parse()
+
+	if o.codec != "" {
+		codecs, mask, err := parseCodecList(o.codec)
+		if err != nil {
+			fatal(err)
+		}
+		o.codecs, o.codecMask = codecs, mask
+	}
+	if o.extract != "" {
+		if o.connect != "" {
+			fatal(fmt.Errorf("-extract is an endpoint preference; use it with -listen or in local mode"))
+		}
+		spec, err := parseExtractSpec(o.extract)
+		if err != nil {
+			fatal(err)
+		}
+		if spec.Kind == fabric.ExtractHistogram {
+			if o.workload != "histogram" {
+				fatal(fmt.Errorf("-extract histogram requires -workload histogram (a shipped histogram cannot feed %q)", o.workload))
+			}
+			if int(spec.Bins) != o.bins {
+				fatal(fmt.Errorf("-extract histogram bins (%d) must match -bins (%d): writers bin remotely with the analysis geometry", spec.Bins, o.bins))
+			}
+		}
+		o.extractSpec = spec
+	}
 
 	if o.faults != "" {
 		if o.listen != "" {
@@ -94,6 +138,80 @@ func main() {
 	default:
 		runLocal(o)
 	}
+}
+
+// parseCodecList turns "delta,flate" into the endpoint preference order and
+// the equivalent writer-side capability mask.
+func parseCodecList(s string) ([]uint8, uint32, error) {
+	var ids []uint8
+	var mask uint32
+	for _, name := range strings.Split(s, ",") {
+		id, err := fabric.ParseCodec(strings.TrimSpace(name))
+		if err != nil {
+			return nil, 0, err
+		}
+		ids = append(ids, id)
+		mask |= 1 << id
+	}
+	return ids, mask, nil
+}
+
+// parseExtractSpec turns the -extract flag into the negotiated wire spec.
+// Extracts are computed over cell data, matching every built-in workload.
+func parseExtractSpec(s string) (*fabric.ExtractSpec, error) {
+	parts := strings.Split(s, ":")
+	bad := func() error {
+		return fmt.Errorf("bad -extract %q: want histogram:<array>:<bins> or slice:<axis>:<coord>:<array>", s)
+	}
+	switch parts[0] {
+	case "histogram":
+		if len(parts) != 3 {
+			return nil, bad()
+		}
+		bins, err := strconv.Atoi(parts[2])
+		if err != nil || bins <= 0 {
+			return nil, bad()
+		}
+		return &fabric.ExtractSpec{
+			Kind:  fabric.ExtractHistogram,
+			Assoc: uint8(grid.CellData),
+			Bins:  uint32(bins),
+			Array: parts[1],
+		}, nil
+	case "slice":
+		if len(parts) != 4 {
+			return nil, bad()
+		}
+		axis, err := strconv.Atoi(parts[1])
+		if err != nil || axis < 0 || axis > 2 {
+			return nil, bad()
+		}
+		coord, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, bad()
+		}
+		return &fabric.ExtractSpec{
+			Kind:  fabric.ExtractSlice,
+			Assoc: uint8(grid.CellData),
+			Axis:  uint32(axis),
+			Coord: coord,
+			Array: parts[3],
+		}, nil
+	}
+	return nil, bad()
+}
+
+// fabricOptions renders the endpoint-side codec/extract flags as fabric
+// creation options for the local and listen modes.
+func fabricOptions(o options) []adios.FabricOption {
+	var opts []adios.FabricOption
+	if len(o.codecs) > 0 {
+		opts = append(opts, adios.WithCodecs(o.codecs...))
+	}
+	if o.extractSpec != nil {
+		opts = append(opts, adios.WithExtract(*o.extractSpec))
+	}
+	return opts
 }
 
 // simConfig builds the oscillator deck shared by every mode.
@@ -194,13 +312,16 @@ func (k *killer) Finalize() error { return nil }
 // report prints the endpoint-side summary shared by the local and listen
 // modes. The histogram block is printed last so byte-for-byte comparisons
 // across deployment modes can anchor on it.
-func report(o options, res *adios.EndpointResult, hist *analysis.Histogram) {
+func report(o options, f *adios.Fabric, res *adios.EndpointResult, hist *analysis.Histogram) {
 	fmt.Printf("flexpath: %d writer/%d endpoint ranks, %d steps staged, workload %s\n",
 		o.ranks, o.ranks, res.Steps, o.workload)
 	reg := res.Registries[0]
 	fmt.Printf("endpoint init: %s, decode total: %s\n",
 		metrics.FormatSeconds(reg.Timer("endpoint::initialize").Total().Seconds()),
 		metrics.FormatSeconds(reg.Timer("endpoint::decode").Total().Seconds()))
+	// The bytes-on-wire odometer: logical vs wire data bytes shows what the
+	// negotiated codec or extract bought.
+	fmt.Printf("fabric: %s\n", f.Stats().Summary())
 	if hist != nil && hist.Last != nil {
 		fmt.Printf("final histogram (step %d, range [%.3f, %.3f]):\n", hist.Last.Step, hist.Last.Min, hist.Last.Max)
 		for i, c := range hist.Last.Counts {
@@ -213,10 +334,10 @@ func report(o options, res *adios.EndpointResult, hist *analysis.Histogram) {
 // runLocal runs both groups in one process over the loopback wire — the
 // original single-binary demonstration.
 func runLocal(o options) {
-	fabric := adios.NewFabric(o.ranks, o.depth)
+	fab := adios.NewFabric(o.ranks, o.depth, fabricOptions(o)...)
 	if o.frun != nil {
 		if fp := o.frun.FabricPlan(); fp != nil {
-			fabric.SetConnWrapper(fp.WrapConn)
+			fab.SetConnWrapper(fp.WrapConn)
 		}
 	}
 
@@ -228,11 +349,11 @@ func runLocal(o options) {
 	wg.Add(2)
 	go func() { // the "simulation executable"
 		defer wg.Done()
-		writerErr = runWriters(o, &adios.FlexPathTransport{Fabric: fabric})
+		writerErr = runWriters(o, &adios.FlexPathTransport{Fabric: fab})
 	}()
 	go func() { // the "endpoint executable"
 		defer wg.Done()
-		res, endpointErr = adios.RunEndpoint(fabric, workloadConfigure(o, &hist))
+		res, endpointErr = adios.RunEndpoint(fab, workloadConfigure(o, &hist))
 	}()
 	wg.Wait()
 	reportFaults(o)
@@ -242,7 +363,7 @@ func runLocal(o options) {
 	if endpointErr != nil {
 		fatal(endpointErr)
 	}
-	report(o, res, hist)
+	report(o, fab, res, hist)
 }
 
 // reportFaults prints which injected faults actually fired; it runs before
@@ -260,7 +381,7 @@ func reportFaults(o options) {
 // runListen is the analysis executable of the two-process deployment: it
 // serves the staging fabric on TCP and consumes until every writer's EOS.
 func runListen(o options) {
-	f, err := adios.ListenFabric("tcp", o.listen, o.ranks, o.ranks, o.depth)
+	f, err := adios.ListenFabric("tcp", o.listen, o.ranks, o.ranks, o.depth, fabricOptions(o)...)
 	if err != nil {
 		fatal(err)
 	}
@@ -275,7 +396,7 @@ func runListen(o options) {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	report(o, res, hist)
+	report(o, f, res, hist)
 }
 
 // runConnect is the simulation executable of the two-process deployment:
@@ -285,6 +406,7 @@ func runConnect(o options) {
 		Network: "tcp", Addr: o.connect,
 		Writers: o.ranks, Readers: o.ranks, Depth: o.depth,
 		RetryWindow: o.retryWindow,
+		Codecs:      o.codecMask,
 	}
 	if o.frun != nil {
 		if fp := o.frun.FabricPlan(); fp != nil {

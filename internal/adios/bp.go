@@ -7,14 +7,17 @@
 // As in the paper, ADIOS "does not include any of the analytics
 // functionality itself; it marshals the memory and metadata to make such
 // code self-describing" — the endpoint re-hydrates a dataset and hands it to
-// ordinary SENSEI analyses (histogram, autocorrelation, Catalyst). The
-// FlexPath transport is deliberately not zero-copy: each step is serialized
-// into a fresh buffer, the cost the paper's §4.1.4 attributes to the ~50%
-// runtime penalty of staging versus inline execution.
+// ordinary SENSEI analyses (histogram, autocorrelation, Catalyst). Since
+// PR 6 the serialization cost the paper's §4.1.4 attributes to the ~50%
+// runtime penalty of staging is attacked on both ends: the container is
+// packed by a bulk little-endian serializer into a pooled per-writer buffer
+// (no fresh full-size allocation per step, no per-value reflection), and the
+// wire below it can delta-encode, compress, or replace the container with a
+// negotiated extract (see internal/fabric's codec layer and extract
+// negotiation).
 package adios
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -26,15 +29,54 @@ import (
 const (
 	bpMagic   = 0x47_4F_42_50 // "GOBP"
 	bpVersion = 1
+
+	// bpHeaderSize is the fixed prefix: magic, version, extent, origin,
+	// spacing, step, time, array count.
+	bpHeaderSize = 4 + 4 + 6*8 + 3*8 + 3*8 + 8 + 8 + 4
 )
 
 // EncodeStep serializes an image-data block with all attributes into a
 // self-describing BP-style buffer.
 func EncodeStep(img *grid.ImageData, step int, time float64) []byte {
-	var buf bytes.Buffer
+	return AppendStep(nil, img, step, time)
+}
+
+// AppendStep appends the serialized step to dst and returns the extended
+// slice — the allocation-free path when dst is a reused per-writer buffer
+// (dst[:0]). Packing is bulk manual little-endian: whole float64 arrays are
+// written with one bounds-checked loop over a preallocated region instead of
+// one reflective binary.Write call per value, which was the single hottest
+// line in the staging pipeline.
+func AppendStep(dst []byte, img *grid.ImageData, step int, time float64) []byte {
+	type entry struct {
+		assoc grid.Association
+		a     array.Array
+	}
+	var arrays []entry
+	size := bpHeaderSize
+	for _, assoc := range []grid.Association{grid.PointData, grid.CellData} {
+		fd := img.Attributes(assoc)
+		for i := 0; i < fd.Len(); i++ {
+			a := fd.At(i)
+			arrays = append(arrays, entry{assoc, a})
+			size += 4 + len(a.Name()) + 1 + 4 + 8 + a.Tuples()*a.Components()*8
+		}
+	}
+
+	// One exact-size grow, then raw index math over the reserved region.
+	base := len(dst)
+	if cap(dst)-base < size {
+		grown := make([]byte, base, base+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := dst[base : base+size]
+	dst = dst[:base+size]
+
 	le := binary.LittleEndian
-	put32 := func(v uint32) { _ = binary.Write(&buf, le, v) }
-	put64 := func(v uint64) { _ = binary.Write(&buf, le, v) }
+	off := 0
+	put32 := func(v uint32) { le.PutUint32(buf[off:], v); off += 4 }
+	put64 := func(v uint64) { le.PutUint64(buf[off:], v); off += 8 }
 	putF := func(v float64) { put64(math.Float64bits(v)) }
 
 	put32(bpMagic)
@@ -50,67 +92,135 @@ func EncodeStep(img *grid.ImageData, step int, time float64) []byte {
 	}
 	put64(uint64(int64(step)))
 	putF(time)
-
-	var arrays []struct {
-		assoc grid.Association
-		a     array.Array
-	}
-	for _, assoc := range []grid.Association{grid.PointData, grid.CellData} {
-		fd := img.Attributes(assoc)
-		for i := 0; i < fd.Len(); i++ {
-			arrays = append(arrays, struct {
-				assoc grid.Association
-				a     array.Array
-			}{assoc, fd.At(i)})
-		}
-	}
 	put32(uint32(len(arrays)))
 	for _, e := range arrays {
-		name := []byte(e.a.Name())
+		name := e.a.Name()
 		put32(uint32(len(name)))
-		buf.Write(name)
-		buf.WriteByte(byte(e.assoc))
+		off += copy(buf[off:], name)
+		buf[off] = byte(e.assoc)
+		off++
 		put32(uint32(e.a.Components()))
-		put64(uint64(e.a.Tuples()))
-		for t := 0; t < e.a.Tuples(); t++ {
-			for c := 0; c < e.a.Components(); c++ {
-				putF(e.a.Value(t, c))
+		put64(uint64(int64(e.a.Tuples())))
+		off += packValues(buf[off:], e.a)
+	}
+	return dst
+}
+
+// packValues writes every value of a in tuple-major float64 order into buf,
+// returning the bytes written. The common staging payloads — interleaved
+// float64 arrays — take the bulk path over the raw backing slice; everything
+// else goes value by value through the Array interface, still with manual
+// PutUint64 packing.
+func packValues(buf []byte, a array.Array) int {
+	le := binary.LittleEndian
+	if ta, ok := a.(*array.Typed[float64]); ok {
+		if raw := ta.RawAOS(); raw != nil {
+			off := 0
+			for _, v := range raw {
+				le.PutUint64(buf[off:], math.Float64bits(v))
+				off += 8
 			}
+			return off
+		}
+		if planes := ta.RawSOA(); len(planes) == 1 {
+			// A single SOA plane is contiguous tuple-major order too.
+			off := 0
+			for _, v := range planes[0] {
+				le.PutUint64(buf[off:], math.Float64bits(v))
+				off += 8
+			}
+			return off
 		}
 	}
-	return buf.Bytes()
+	off := 0
+	tuples, comps := a.Tuples(), a.Components()
+	for t := 0; t < tuples; t++ {
+		for c := 0; c < comps; c++ {
+			le.PutUint64(buf[off:], math.Float64bits(a.Value(t, c)))
+			off += 8
+		}
+	}
+	return off
+}
+
+// bpReader is a bounds-checked cursor over a BP buffer. Reads past the end
+// set err (sticky) and return zero values, mirroring the old binary.Read
+// closure behavior without the per-call interface and reflection costs.
+type bpReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *bpReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("unexpected end of container at byte %d", r.off)
+	}
+}
+
+func (r *bpReader) rem() int { return len(r.data) - r.off }
+
+func (r *bpReader) u32() uint32 {
+	if r.rem() < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *bpReader) u64() uint64 {
+	if r.rem() < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *bpReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *bpReader) byte() byte {
+	if r.rem() < 1 {
+		r.fail()
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *bpReader) bytes(n int) []byte {
+	if n < 0 || r.rem() < n {
+		r.fail()
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// IsBPContainer reports whether data begins with the BP magic — the cheap
+// sniff endpoints use to tell a full staged container from a negotiated
+// extract product.
+func IsBPContainer(data []byte) bool {
+	return len(data) >= 4 && binary.LittleEndian.Uint32(data) == bpMagic
 }
 
 // DecodeStep re-hydrates a BP buffer into image data.
 func DecodeStep(data []byte) (*grid.ImageData, int, float64, error) {
-	r := bytes.NewReader(data)
-	le := binary.LittleEndian
-	var err error
-	get32 := func() uint32 {
-		var v uint32
-		if e := binary.Read(r, le, &v); e != nil && err == nil {
-			err = e
-		}
-		return v
-	}
-	get64 := func() uint64 {
-		var v uint64
-		if e := binary.Read(r, le, &v); e != nil && err == nil {
-			err = e
-		}
-		return v
-	}
-	getF := func() float64 { return math.Float64frombits(get64()) }
-
-	if m := get32(); m != bpMagic {
+	r := &bpReader{data: data}
+	if m := r.u32(); r.err != nil || m != bpMagic {
 		return nil, 0, 0, fmt.Errorf("adios: bad magic %#x", m)
 	}
-	if v := get32(); v != bpVersion {
+	if v := r.u32(); r.err != nil || v != bpVersion {
 		return nil, 0, 0, fmt.Errorf("adios: unsupported version %d", v)
 	}
 	var ext grid.Extent
 	for i := range ext {
-		ext[i] = int(int64(get64()))
+		ext[i] = int(int64(r.u64()))
 	}
 	// Plausibility bounds before the extent flows into any analysis: axes
 	// may be empty (hi == lo-1) but not inverted, and no axis spans more
@@ -129,54 +239,50 @@ func DecodeStep(data []byte) (*grid.ImageData, int, float64, error) {
 	}
 	img := grid.NewImageData(ext)
 	for i := range img.Origin {
-		img.Origin[i] = getF()
+		img.Origin[i] = r.f64()
 	}
 	for i := range img.Spacing {
-		img.Spacing[i] = getF()
+		img.Spacing[i] = r.f64()
 	}
-	step := int(int64(get64()))
-	t := getF()
-	n := get32()
-	if err != nil {
-		return nil, 0, 0, fmt.Errorf("adios: truncated header: %w", err)
+	step := int(int64(r.u64()))
+	t := r.f64()
+	n := r.u32()
+	if r.err != nil {
+		return nil, 0, 0, fmt.Errorf("adios: truncated header: %w", r.err)
 	}
 	const maxArrays = 1 << 16
 	if n > maxArrays {
 		return nil, 0, 0, fmt.Errorf("adios: implausible array count %d", n)
 	}
 	for i := uint32(0); i < n; i++ {
-		nameLen := get32()
-		if err != nil || int(nameLen) > r.Len() {
+		nameLen := r.u32()
+		if r.err != nil || int(nameLen) > r.rem() {
 			return nil, 0, 0, fmt.Errorf("adios: truncated array %d name", i)
 		}
-		name := make([]byte, nameLen)
-		if _, e := r.Read(name); e != nil {
-			return nil, 0, 0, fmt.Errorf("adios: %w", e)
-		}
-		assocB, e := r.ReadByte()
-		if e != nil {
-			return nil, 0, 0, fmt.Errorf("adios: %w", e)
-		}
-		comps := int(get32())
-		tuples := int(int64(get64()))
-		if err != nil {
-			return nil, 0, 0, fmt.Errorf("adios: truncated array %d header: %w", i, err)
+		name := r.bytes(int(nameLen))
+		assocB := r.byte()
+		comps := int(r.u32())
+		tuples := int(int64(r.u64()))
+		if r.err != nil {
+			return nil, 0, 0, fmt.Errorf("adios: truncated array %d header: %w", i, r.err)
 		}
 		// Overflow-safe shape check: comps*tuples*8 must not exceed the
-		// remaining bytes, validated by division so a adversarial shape
+		// remaining bytes, validated by division so an adversarial shape
 		// cannot wrap the product and slip past into the allocation.
 		if comps <= 0 || tuples < 0 {
 			return nil, 0, 0, fmt.Errorf("adios: implausible array %d shape %dx%d", i, tuples, comps)
 		}
-		if tuples > 0 && comps > r.Len()/8/tuples {
-			return nil, 0, 0, fmt.Errorf("adios: array %d shape %dx%d exceeds remaining %d bytes", i, tuples, comps, r.Len())
+		if tuples > 0 && comps > r.rem()/8/tuples {
+			return nil, 0, 0, fmt.Errorf("adios: array %d shape %dx%d exceeds remaining %d bytes", i, tuples, comps, r.rem())
 		}
 		vals := make([]float64, comps*tuples)
-		for j := range vals {
-			vals[j] = getF()
+		le := binary.LittleEndian
+		src := r.bytes(len(vals) * 8)
+		if r.err != nil {
+			return nil, 0, 0, fmt.Errorf("adios: truncated array %d data: %w", i, r.err)
 		}
-		if err != nil {
-			return nil, 0, 0, fmt.Errorf("adios: truncated array %d data: %w", i, err)
+		for j := range vals {
+			vals[j] = math.Float64frombits(le.Uint64(src[j*8:]))
 		}
 		img.Attributes(grid.Association(assocB)).Add(array.WrapAOS(string(name), comps, vals))
 	}

@@ -8,7 +8,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gosensei/internal/analysis"
 	"gosensei/internal/core"
+	"gosensei/internal/extracts"
 	"gosensei/internal/fabric"
 	"gosensei/internal/grid"
 	"gosensei/internal/metrics"
@@ -57,10 +59,33 @@ type Fabric struct {
 	network, addr             string
 	hub                       *fabric.Hub
 	stats                     *fabric.Stats
+	extract                   *fabric.ExtractSpec
 
 	mu       sync.Mutex
 	clients  map[int]*fabric.Client
 	wrapConn func(rank int, conn fabric.Conn) fabric.Conn
+}
+
+// FabricOption tunes the endpoint side of a fabric at creation.
+type FabricOption func(*fabricConfig)
+
+type fabricConfig struct {
+	codecs  []uint8
+	extract *fabric.ExtractSpec
+}
+
+// WithCodecs sets the endpoint's wire-codec preference, most preferred
+// first; the first codec a dialing writer also supports wins, raw being the
+// universal fallback. Without this option every connection stages raw.
+func WithCodecs(ids ...uint8) FabricOption {
+	return func(c *fabricConfig) { c.codecs = ids }
+}
+
+// WithExtract asks extract-capable writers to ship the given reduced
+// product instead of full containers — the bandwidth floor of the staging
+// ladder. Writers that cannot compute the extract still ship containers.
+func WithExtract(spec fabric.ExtractSpec) FabricOption {
+	return func(c *fabricConfig) { c.extract = &spec }
 }
 
 // loopbackSeq uniquifies in-process fabric names so independent fabrics
@@ -69,20 +94,20 @@ var loopbackSeq atomic.Int64
 
 // NewFabric creates a 1:1 in-process fabric for n writer/reader pairs with
 // the given queue depth (FlexPath's default behavior corresponds to depth 1).
-func NewFabric(n, depth int) *Fabric {
-	return NewFabricNM(n, n, depth)
+func NewFabric(n, depth int, opts ...FabricOption) *Fabric {
+	return NewFabricNM(n, n, depth, opts...)
 }
 
 // NewFabricNM creates an in-process fabric for nWriters producers and
 // nReaders analysis ranks (writers map to reader writer*nReaders/nWriters).
 // The staging traffic runs over the loopback wire — the same framing,
 // credit, and release code paths as a TCP deployment, deterministically.
-func NewFabricNM(nWriters, nReaders, depth int) *Fabric {
+func NewFabricNM(nWriters, nReaders, depth int, opts ...FabricOption) *Fabric {
 	if nWriters <= 0 || nReaders <= 0 || depth <= 0 {
 		panic(fmt.Sprintf("adios: invalid fabric writers=%d readers=%d depth=%d", nWriters, nReaders, depth))
 	}
 	name := fmt.Sprintf("adios/fabric-%d", loopbackSeq.Add(1))
-	f, err := ListenFabric("loopback", name, nWriters, nReaders, depth)
+	f, err := ListenFabric("loopback", name, nWriters, nReaders, depth, opts...)
 	if err != nil {
 		panic(fmt.Sprintf("adios: %v", err))
 	}
@@ -94,9 +119,13 @@ func NewFabricNM(nWriters, nReaders, depth int) *Fabric {
 // endpoint OS process listens; writers connect with DialWire), or
 // "loopback" with a unique name for in-process use. The returned fabric
 // accepts writer connections immediately.
-func ListenFabric(network, addr string, nWriters, nReaders, depth int) (*Fabric, error) {
+func ListenFabric(network, addr string, nWriters, nReaders, depth int, opts ...FabricOption) (*Fabric, error) {
 	if nWriters <= 0 || nReaders <= 0 || depth <= 0 || nWriters < nReaders {
 		return nil, fmt.Errorf("adios: invalid fabric writers=%d readers=%d depth=%d", nWriters, nReaders, depth)
+	}
+	var cfg fabricConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
 	lis, err := fabric.Listen(network, addr)
 	if err != nil {
@@ -110,11 +139,12 @@ func ListenFabric(network, addr string, nWriters, nReaders, depth int) (*Fabric,
 	hub := fabric.NewHub(lis, fabric.HubOptions{
 		Writers: nWriters, Readers: nReaders, Depth: depth,
 		ReadTimeout: readTimeout, Stats: stats,
+		Codecs: cfg.codecs, Extract: cfg.extract,
 	})
 	return &Fabric{
 		nWriters: nWriters, nReaders: nReaders, depth: depth,
 		network: network, addr: lis.Addr().String(),
-		hub: hub, stats: stats,
+		hub: hub, stats: stats, extract: cfg.extract,
 		clients: map[int]*fabric.Client{},
 	}, nil
 }
@@ -189,11 +219,18 @@ func (f *Fabric) client(writer int) *fabric.Client {
 			Network: f.network, Addr: f.addr,
 			Rank: writer, Writers: f.nWriters, Readers: f.nReaders, Depth: f.depth,
 			HeartbeatInterval: hb,
+			ExtractCapable:    true,
 			WrapConn:          f.wrapConn,
 		})
 		f.clients[writer] = c
 	}
 	return c
+}
+
+// Negotiated blocks until the writer's first handshake completes and
+// reports the codec and extract the endpoint chose for it.
+func (f *Fabric) Negotiated(writer int) (uint8, fabric.ExtractSpec, error) {
+	return f.client(writer).Negotiated()
 }
 
 // send blocks until the writer holds a queue-depth credit, then stages the
@@ -268,6 +305,14 @@ func (t *FlexPathTransport) Close(rank int) error {
 	return t.Fabric.send(rank, Message{EOS: true})
 }
 
+// Negotiated implements extract negotiation for the staging Writer: the
+// endpoint's Welcome names the reduced product (if any) this writer should
+// ship instead of full containers.
+func (t *FlexPathTransport) Negotiated(rank int) (fabric.ExtractSpec, error) {
+	_, ext, err := t.Fabric.Negotiated(rank)
+	return ext, err
+}
+
 // BPFileTransport writes one BP file per (step, rank) under Dir — the
 // traditional post hoc path through the same API.
 type BPFileTransport struct {
@@ -318,6 +363,21 @@ type Writer struct {
 	Transport Transport
 	Registry  *metrics.Registry
 	Memory    *metrics.Tracker
+
+	// encBuf is the reusable serialization buffer: transports copy the
+	// payload before returning (Client.Send buffers for retransmit, the file
+	// transport writes synchronously), so one buffer per writer amortizes
+	// the per-step allocation the old EncodeStep call paid.
+	encBuf []byte
+	// negotiated caches the transport's one-time extract negotiation.
+	negotiated bool
+	extract    fabric.ExtractSpec
+}
+
+// extractNegotiator is implemented by transports whose endpoint can ask for
+// a reduced product in place of full containers.
+type extractNegotiator interface {
+	Negotiated(rank int) (fabric.ExtractSpec, error)
 }
 
 // NewWriter builds a writer over a transport.
@@ -359,6 +419,23 @@ func (w *Writer) Execute(d core.DataAdaptor) (bool, error) {
 		return false, fmt.Errorf("adios: staging supports structured data, got %v", mesh.Kind())
 	}
 	step := d.TimeStep()
+	rank := 0
+	if w.Comm != nil {
+		rank = w.Comm.Rank()
+	}
+	// One-time extract negotiation: the endpoint's Welcome may ask for a
+	// reduced product; the answer is stable for a fixed endpoint, so it is
+	// cached for the run.
+	if !w.negotiated {
+		if neg, ok := w.Transport.(extractNegotiator); ok {
+			ext, err := neg.Negotiated(rank)
+			if err != nil {
+				return false, err
+			}
+			w.extract = ext
+		}
+		w.negotiated = true
+	}
 	if err := w.timeAdvance(step); err != nil {
 		return false, err
 	}
@@ -366,18 +443,49 @@ func (w *Writer) Execute(d core.DataAdaptor) (bool, error) {
 	// including any blocking while the reader catches up.
 	var sendErr error
 	w.reg().Time("adios::analysis", step, func() {
-		payload := EncodeStep(img, step, d.Time())
+		var payload []byte
+		payload, sendErr = w.encodeForWire(img, step, d.Time())
+		if sendErr != nil {
+			return
+		}
 		if w.Memory != nil {
 			w.Memory.Alloc("adios/stage-buffer", int64(len(payload)))
 			defer w.Memory.Free("adios/stage-buffer", int64(len(payload)))
 		}
-		rank := 0
-		if w.Comm != nil {
-			rank = w.Comm.Rank()
-		}
 		sendErr = w.Transport.WriteStep(rank, payload, step)
 	})
 	return true, sendErr
+}
+
+// encodeForWire serializes what the negotiation says this writer owes the
+// endpoint for one step: the full container, a pre-binned histogram
+// partial, or a one-cell-thick slice slab (an empty marker when the plane
+// misses this writer's block). The buffer is reused across steps.
+func (w *Writer) encodeForWire(img *grid.ImageData, step int, time float64) ([]byte, error) {
+	switch w.extract.Kind {
+	case fabric.ExtractHistogram:
+		h := analysis.NewHistogram(w.Comm, w.extract.Array, grid.Association(w.extract.Assoc), int(w.extract.Bins))
+		lo, hi, err := h.GlobalRange(img)
+		if err != nil {
+			return nil, err
+		}
+		counts, err := h.PartialCounts(img, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		w.encBuf = extracts.AppendHistogramExtract(w.encBuf[:0],
+			&extracts.HistogramPartial{Step: step, Time: time, Min: lo, Max: hi, Counts: counts})
+	case fabric.ExtractSlice:
+		slab := extracts.SlicePlane(img, int(w.extract.Axis), w.extract.Coord)
+		if slab == nil {
+			w.encBuf = extracts.AppendEmptyExtract(w.encBuf[:0], step, time)
+		} else {
+			w.encBuf = AppendStep(w.encBuf[:0], slab, step, time)
+		}
+	default:
+		w.encBuf = AppendStep(w.encBuf[:0], img, step, time)
+	}
+	return w.encBuf, nil
 }
 
 func (w *Writer) timeAdvance(step int) error {
@@ -441,6 +549,65 @@ func (s *StagedDataAdaptor) ArrayNames(assoc grid.Association) ([]string, error)
 // ReleaseData implements core.DataAdaptor.
 func (s *StagedDataAdaptor) ReleaseData() error { s.Data = nil; return nil }
 
+// StagedExtractAdaptor serves a merged histogram partial to endpoint
+// analyses in extract-shipping mode. It implements
+// analysis.StagedHistogramSource structurally, so the endpoint's Histogram
+// short-circuits its mesh walk; there is no mesh to serve.
+type StagedExtractAdaptor struct {
+	core.BaseDataAdaptor
+	Spec fabric.ExtractSpec
+	Hist *extracts.HistogramPartial
+}
+
+// StagedHistogram reports the merged partial when it matches the requested
+// shape — the structural handshake with analysis.Histogram.Execute.
+func (s *StagedExtractAdaptor) StagedHistogram(name string, assoc grid.Association, bins int) (min, max float64, counts []int64, ok bool) {
+	if s.Hist == nil || name != s.Spec.Array ||
+		uint8(assoc) != s.Spec.Assoc || bins != len(s.Hist.Counts) {
+		return 0, 0, nil, false
+	}
+	return s.Hist.Min, s.Hist.Max, s.Hist.Counts, true
+}
+
+// Mesh implements core.DataAdaptor: extract mode ships no mesh.
+func (s *StagedExtractAdaptor) Mesh(bool) (grid.Dataset, error) {
+	return nil, fmt.Errorf("adios: extract-shipping step carries no mesh (only a %s extract)", "histogram")
+}
+
+// AddArray implements core.DataAdaptor.
+func (s *StagedExtractAdaptor) AddArray(grid.Dataset, grid.Association, string) error {
+	return fmt.Errorf("adios: extract-shipping step carries no arrays")
+}
+
+// ArrayNames implements core.DataAdaptor.
+func (s *StagedExtractAdaptor) ArrayNames(grid.Association) ([]string, error) { return nil, nil }
+
+// ReleaseData implements core.DataAdaptor.
+func (s *StagedExtractAdaptor) ReleaseData() error { s.Hist = nil; return nil }
+
+// mergeHistogramPartial folds one writer's partial into the step's
+// accumulator: exact min/max and exact int64 sums, the same reductions the
+// raw path performs, so the merged result is bit-identical to binning the
+// full data.
+func mergeHistogramPartial(acc, p *extracts.HistogramPartial) (*extracts.HistogramPartial, error) {
+	if acc == nil {
+		return p, nil
+	}
+	if len(acc.Counts) != len(p.Counts) {
+		return nil, fmt.Errorf("adios: histogram partials disagree on bins (%d vs %d)", len(acc.Counts), len(p.Counts))
+	}
+	if p.Min < acc.Min {
+		acc.Min = p.Min
+	}
+	if p.Max > acc.Max {
+		acc.Max = p.Max
+	}
+	for i := range acc.Counts {
+		acc.Counts[i] += p.Counts[i]
+	}
+	return acc, nil
+}
+
 // EndpointResult carries the endpoint's instrumentation back to the driver.
 type EndpointResult struct {
 	Registries []*metrics.Registry
@@ -477,6 +644,8 @@ func RunEndpoint(f *Fabric, configure func(b *core.Bridge) error, opts ...mpi.Op
 		writers := f.WritersOf(c.Rank())
 		type partial struct {
 			blocks   map[int]*grid.ImageData
+			hist     *extracts.HistogramPartial
+			got      int // messages received for the step, any payload kind
 			releases []func()
 			time     float64
 		}
@@ -490,14 +659,33 @@ func RunEndpoint(f *Fabric, configure func(b *core.Bridge) error, opts ...mpi.Op
 				eos++
 				continue
 			}
+			// Sniff the payload kind by magic: a full BP container, a
+			// pre-binned extract, or the "nothing this step" marker (a slice
+			// plane that missed the writer's block).
 			var (
-				img *grid.ImageData
-				st  int
-				tm  float64
-				err error
+				img  *grid.ImageData
+				hist *extracts.HistogramPartial
+				st   int
+				tm   float64
+				err  error
 			)
 			reg.Time("endpoint::decode", msg.Step, func() {
-				img, st, tm, err = DecodeStep(msg.Payload)
+				switch {
+				case extracts.IsExtract(msg.Payload):
+					switch extracts.ExtractKind(msg.Payload) {
+					case extracts.KindHistogram:
+						hist, err = extracts.DecodeHistogramExtract(msg.Payload)
+						if err == nil {
+							st, tm = hist.Step, hist.Time
+						}
+					case extracts.KindEmpty:
+						st, tm, err = extracts.DecodeEmptyExtract(msg.Payload)
+					default:
+						err = fmt.Errorf("adios: unsupported extract kind %d", extracts.ExtractKind(msg.Payload))
+					}
+				default:
+					img, st, tm, err = DecodeStep(msg.Payload)
+				}
 			})
 			if err != nil {
 				return err
@@ -507,25 +695,60 @@ func RunEndpoint(f *Fabric, configure func(b *core.Bridge) error, opts ...mpi.Op
 				p = &partial{blocks: map[int]*grid.ImageData{}}
 				pending[st] = p
 			}
-			p.blocks[msg.Writer] = img
+			if img != nil {
+				p.blocks[msg.Writer] = img
+			}
+			if hist != nil {
+				if p.hist, err = mergeHistogramPartial(p.hist, hist); err != nil {
+					return err
+				}
+			}
+			p.got++
 			p.releases = append(p.releases, msg.Release)
 			p.time = tm
-			if len(p.blocks) < len(writers) {
+			if p.got < len(writers) {
 				continue
 			}
 			delete(pending, st)
-			var data grid.Dataset
-			if len(writers) == 1 {
-				data = img
-			} else {
-				mb := &grid.MultiBlock{}
-				for _, w := range writers {
-					mb.Blocks = append(mb.Blocks, p.blocks[w])
-				}
-				data = mb
+			if p.hist != nil && len(p.blocks) > 0 {
+				return fmt.Errorf("adios: step %d mixes extract partials and full containers", st)
 			}
-			da := &StagedDataAdaptor{Data: data}
-			da.SetStep(st, p.time)
+			var da core.DataAdaptor
+			switch {
+			case p.hist != nil:
+				ea := &StagedExtractAdaptor{Hist: p.hist}
+				if f.extract != nil {
+					ea.Spec = *f.extract
+				}
+				ea.SetStep(st, p.time)
+				da = ea
+			case len(p.blocks) == 0:
+				// Every writer sent an empty marker: nothing to analyze this
+				// step, but the credits still return.
+				for _, rel := range p.releases {
+					rel()
+				}
+				steps[c.Rank()]++
+				continue
+			default:
+				var data grid.Dataset
+				if len(p.blocks) == 1 {
+					for _, b := range p.blocks {
+						data = b
+					}
+				} else {
+					mb := &grid.MultiBlock{}
+					for _, w := range writers {
+						if b := p.blocks[w]; b != nil {
+							mb.Blocks = append(mb.Blocks, b)
+						}
+					}
+					data = mb
+				}
+				sa := &StagedDataAdaptor{Data: data}
+				sa.SetStep(st, p.time)
+				da = sa
+			}
 			if _, err := b.Execute(da); err != nil {
 				return err
 			}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gosensei/internal/array"
+	"gosensei/internal/extracts"
 	"gosensei/internal/grid"
 )
 
@@ -63,6 +64,44 @@ func FuzzDecode(f *testing.F) {
 		}
 		if total*8 > len(data) {
 			t.Fatalf("decoded %d values (%d bytes) from a %d-byte input", total, total*8, len(data))
+		}
+	})
+}
+
+// FuzzStagedPayloadSniff replicates RunEndpoint's payload dispatch — BP
+// container, histogram extract, or empty marker, classified by magic — and
+// hammers it with arbitrary bytes: whatever a (possibly corrupt or
+// malicious) writer stages, classification plus the chosen decoder must
+// return an error or bounded data, never panic and never over-allocate.
+func FuzzStagedPayloadSniff(f *testing.F) {
+	img := grid.NewImageData(grid.NewExtent3D(3, 3, 2))
+	addTestField(img, "data", 1)
+	f.Add(EncodeStep(img, 2, 0.5))
+	f.Add(extracts.AppendHistogramExtract(nil, &extracts.HistogramPartial{
+		Step: 2, Time: 0.5, Min: -1, Max: 1, Counts: []int64{3, 0, 7, 1}}))
+	f.Add(extracts.AppendEmptyExtract(nil, 2, 0.5))
+	crossed := extracts.AppendHistogramExtract(nil, &extracts.HistogramPartial{Counts: []int64{1}})
+	crossed[8] = 9 // unknown extract kind
+	f.Add(crossed)
+	f.Add([]byte("GOEX too short"))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if extracts.IsExtract(payload) {
+			switch extracts.ExtractKind(payload) {
+			case extracts.KindHistogram:
+				if p, err := extracts.DecodeHistogramExtract(payload); err == nil {
+					if 8*len(p.Counts) > len(payload) {
+						t.Fatalf("histogram decoded %d bins from %d bytes", len(p.Counts), len(payload))
+					}
+				}
+			case extracts.KindEmpty:
+				_, _, _ = extracts.DecodeEmptyExtract(payload)
+			}
+			return
+		}
+		img, _, _, err := DecodeStep(payload)
+		if err == nil && img == nil {
+			t.Fatal("decode returned neither data nor error")
 		}
 	})
 }

@@ -23,6 +23,10 @@ type WireOptions struct {
 	// DrainWindow bounds Close's wait for the endpoint to consume
 	// everything outstanding. 0 selects 60s.
 	DrainWindow time.Duration
+	// Codecs is the bitmask of wire codecs (1 << fabric.Codec*) this writer
+	// offers the endpoint; 0 offers all of them. The endpoint picks per its
+	// own preference, raw being the universal fallback.
+	Codecs uint32
 	// Stats receives the writer-side wire counters; nil allocates a set.
 	Stats *fabric.Stats
 	// WrapConn decorates each freshly dialed connection (the fault-injection
@@ -81,12 +85,21 @@ func (t *WireTransport) client(rank int) *fabric.Client {
 			Rank: rank, Writers: t.o.Writers, Readers: t.o.Readers, Depth: t.o.Depth,
 			HeartbeatInterval: hb,
 			RetryWindow:       t.o.RetryWindow,
+			Codecs:            t.o.Codecs,
+			ExtractCapable:    true,
 			Stats:             t.stats,
 			WrapConn:          t.o.WrapConn,
 		})
 		t.clients[rank] = c
 	}
 	return c
+}
+
+// Negotiated implements extract negotiation for the staging Writer,
+// blocking until the rank's first handshake completes.
+func (t *WireTransport) Negotiated(rank int) (fabric.ExtractSpec, error) {
+	_, ext, err := t.client(rank).Negotiated()
+	return ext, err
 }
 
 // WriteStep implements Transport; it blocks while the rank's queue-depth

@@ -1,0 +1,53 @@
+package adios
+
+import (
+	"fmt"
+	"testing"
+
+	"gosensei/internal/fabric"
+	"gosensei/internal/grid"
+)
+
+// BenchmarkWireStaging measures bytes on the wire for the full oscillator ->
+// histogram staging pipeline under each negotiated variant — raw containers,
+// delta+flate codecs, and histogram-extract shipping — at queue depths 1 and
+// 4. The custom metrics come from the fabric odometer: wireB/step is the
+// mean data payload that actually crossed the wire per staged step, and
+// %codec-saved is the in-run logical-vs-wire reduction (for the extract
+// variant the dominant saving is the reduction itself; compare wireB/step
+// against the raw variant). BENCH_6.json pins the cross-variant reductions.
+func BenchmarkWireStaging(b *testing.B) {
+	const cells, steps, bins = 16, 4, 16
+	spec := fabric.ExtractSpec{
+		Kind:  fabric.ExtractHistogram,
+		Assoc: uint8(grid.CellData),
+		Bins:  bins,
+		Array: "data",
+	}
+	variants := []struct {
+		name string
+		opts []FabricOption
+	}{
+		{"raw", nil},
+		{"delta-flate", []FabricOption{WithCodecs(fabric.CodecDelta, fabric.CodecFlate)}},
+		{"extract", []FabricOption{WithExtract(spec), WithCodecs(fabric.CodecDelta)}},
+	}
+	for _, depth := range []int{1, 4} {
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("%s/depth%d", v.name, depth), func(b *testing.B) {
+				var logical, wire int64
+				for i := 0; i < b.N; i++ {
+					_, l, w := runHistogramStaging(b, stagingConfig{
+						writers: 2, readers: 1, depth: depth,
+						cells: cells, steps: steps, bins: bins, opts: v.opts,
+					})
+					logical, wire = l, w
+				}
+				b.ReportMetric(float64(wire)/steps, "wireB/step")
+				if logical > 0 {
+					b.ReportMetric(100*(1-float64(wire)/float64(logical)), "%codec-saved")
+				}
+			})
+		}
+	}
+}

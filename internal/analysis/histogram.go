@@ -82,8 +82,34 @@ func NewHistogram(c *mpi.Comm, name string, assoc grid.Association, bins int) *H
 	return &Histogram{Comm: c, ArrayName: name, Assoc: assoc, Bins: bins}
 }
 
+// StagedHistogramSource is implemented by data adaptors that carry a
+// pre-binned histogram partial instead of (or alongside) mesh data — the in
+// transit extract-shipping path, where writers bin against the globally
+// agreed range before the wire and the endpoint only merges. The adaptor
+// reports ok only when its partial matches the requested array, association,
+// and bin count.
+type StagedHistogramSource interface {
+	StagedHistogram(name string, assoc grid.Association, bins int) (min, max float64, counts []int64, ok bool)
+}
+
 // Execute implements core.AnalysisAdaptor.
 func (h *Histogram) Execute(d core.DataAdaptor) (bool, error) {
+	// An adaptor staging a matching pre-binned partial short-circuits the
+	// mesh walk: the writers already agreed on the global range (allreduce
+	// over the writer group) and binned with the same kernel, so merging
+	// partials is bit-identical to binning the full data here.
+	if sh, ok := d.(StagedHistogramSource); ok {
+		if lo, hi, counts, ok := sh.StagedHistogram(h.ArrayName, h.Assoc, h.Bins); ok {
+			res, err := h.mergeStaged(d.TimeStep(), lo, hi, counts)
+			if err != nil {
+				return false, err
+			}
+			if h.Comm == nil || h.Comm.Rank() == 0 {
+				h.Last = res
+			}
+			return true, nil
+		}
+	}
 	mesh, err := core.FetchArray(d, h.Assoc, h.ArrayName)
 	if err != nil {
 		return false, err
@@ -98,19 +124,62 @@ func (h *Histogram) Execute(d core.DataAdaptor) (bool, error) {
 	return true, nil
 }
 
+// mergeStaged finishes a histogram from pre-binned partials: the same two
+// reductions Compute performs (min/max agreement, count sum to root), over
+// exact operations, so the result matches the full-data path bit for bit.
+func (h *Histogram) mergeStaged(step int, lo, hi float64, counts []int64) (*HistogramResult, error) {
+	if h.Comm != nil {
+		gLo, gHi := []float64{lo}, []float64{hi}
+		if err := mpi.AllreduceMinMax(h.Comm, gLo, gHi); err != nil {
+			return nil, err
+		}
+		lo, hi = gLo[0], gHi[0]
+		global := make([]int64, len(counts))
+		if err := mpi.Reduce(h.Comm, counts, global, mpi.OpSum, 0); err != nil {
+			return nil, err
+		}
+		counts = global
+	}
+	return &HistogramResult{Step: step, Min: lo, Max: hi, Counts: counts}, nil
+}
+
 // Compute runs the histogram over an already-populated mesh (a single
 // dataset or a MultiBlock, as delivered by fan-in staging endpoints). It is
 // exposed separately so post hoc and in transit paths can reuse it. The
 // result is valid on rank 0 (and on every rank when Comm is nil, the serial
 // case).
 func (h *Histogram) Compute(step int, mesh grid.Dataset) (*HistogramResult, error) {
+	lo, hi, err := h.GlobalRange(mesh)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := h.PartialCounts(mesh, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	// Reduce histograms to the root.
+	if h.Comm != nil {
+		global := make([]int64, h.Bins)
+		if err := mpi.Reduce(h.Comm, counts, global, mpi.OpSum, 0); err != nil {
+			return nil, err
+		}
+		counts = global
+	}
+	return &HistogramResult{Step: step, Min: lo, Max: hi, Counts: counts}, nil
+}
+
+// GlobalRange computes the [min, max] of the target array over all ranks of
+// Comm, skipping ghost values. Exposed separately so the in transit
+// extract path can agree on bin edges across the writer group before
+// binning — the agreement is an exact min/max reduction, which is what
+// makes writer-side binning bit-identical to endpoint-side binning.
+func (h *Histogram) GlobalRange(mesh grid.Dataset) (lo, hi float64, err error) {
 	sources, err := ScalarSources(mesh, h.Assoc, h.ArrayName)
 	if err != nil {
-		return nil, fmt.Errorf("analysis: histogram: %w", err)
+		return 0, 0, fmt.Errorf("analysis: histogram: %w", err)
 	}
-
 	// Local extrema over non-ghost values.
-	lo, hi := math.Inf(1), math.Inf(-1)
+	lo, hi = math.Inf(1), math.Inf(-1)
 	for _, src := range sources {
 		n := src.Values.Tuples()
 		for i := 0; i < n; i++ {
@@ -131,14 +200,26 @@ func (h *Histogram) Compute(step int, mesh grid.Dataset) (*HistogramResult, erro
 	if h.Comm != nil {
 		gLo, gHi := []float64{lo}, []float64{hi}
 		if err := mpi.AllreduceMinMax(h.Comm, gLo, gHi); err != nil {
-			return nil, err
+			return 0, 0, err
 		}
 		lo, hi = gLo[0], gHi[0]
 	}
 	if math.IsInf(lo, 1) { // no non-ghost data anywhere
 		lo, hi = 0, 0
 	}
+	return lo, hi, nil
+}
 
+// PartialCounts bins this rank's non-ghost values against the given global
+// range, with no reduction: the caller either sums the partials itself (the
+// extract-shipping endpoint) or reduces them to the root (Compute). Every
+// path bins with this one kernel, so counts agree bit for bit wherever the
+// binning runs.
+func (h *Histogram) PartialCounts(mesh grid.Dataset, lo, hi float64) ([]int64, error) {
+	sources, err := ScalarSources(mesh, h.Assoc, h.ArrayName)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: histogram: %w", err)
+	}
 	counts := make([]int64, h.Bins)
 	if h.Memory != nil {
 		h.Memory.Alloc("histogram/bins", int64(h.Bins)*8)
@@ -173,15 +254,7 @@ func (h *Histogram) Compute(step int, mesh grid.Dataset) (*HistogramResult, erro
 			counts[b]++
 		}
 	}
-	// Reduce histograms to the root.
-	if h.Comm != nil {
-		global := make([]int64, h.Bins)
-		if err := mpi.Reduce(h.Comm, counts, global, mpi.OpSum, 0); err != nil {
-			return nil, err
-		}
-		counts = global
-	}
-	return &HistogramResult{Step: step, Min: lo, Max: hi, Counts: counts}, nil
+	return counts, nil
 }
 
 // Finalize implements core.AnalysisAdaptor; the histogram holds no state.

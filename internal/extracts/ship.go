@@ -1,0 +1,242 @@
+package extracts
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gosensei/internal/array"
+	"gosensei/internal/grid"
+)
+
+// Extract shipping, the third rung of PR 6's bandwidth-reduction ladder:
+// when the staging handshake negotiates that the endpoint only needs a
+// reduced product, the writer ships that product instead of the full BP
+// container — the Catalyst-ADIOS2 hybrid's "reduce before the wire". Two
+// products are supported:
+//
+//   - a histogram partial: the writer's local bin counts over the globally
+//     agreed [min, max] range (agreed by an allreduce over the WRITER
+//     group, so every partial bins against identical edges and the
+//     endpoint's merge — exact int64 sums plus exact float min/max — is
+//     bit-identical to binning the full data);
+//   - a plane slice: a one-cell-thick sub-block, which is just a thin BP
+//     container and flows through the normal staged-decode path.
+//
+// Histogram partials travel in a "GOEX" container so an endpoint can sniff
+// extract vs BP payloads by magic.
+
+const (
+	// extractMagic spells GOEX in the same style as the adios BP magic.
+	extractMagic   = 0x47_4F_45_58
+	extractVersion = 1
+
+	// KindHistogram tags a histogram-partial container.
+	KindHistogram = 1
+	// KindEmpty tags a header-only container from a writer with nothing to
+	// contribute this step (e.g. the slice plane misses its block); the
+	// endpoint records the writer as heard-from without a data block.
+	KindEmpty = 2
+
+	// extractHeaderSize: magic, version, kind, step, time, min, max, bins.
+	extractHeaderSize = 4 + 4 + 1 + 8 + 8 + 8 + 8 + 4
+
+	// maxExtractBins bounds decode allocation against corrupt headers.
+	maxExtractBins = 1 << 20
+)
+
+// HistogramPartial is one writer's share of a global histogram: local
+// counts over the globally agreed range.
+type HistogramPartial struct {
+	Step     int
+	Time     float64
+	Min, Max float64
+	Counts   []int64
+}
+
+// IsExtract reports whether data begins with the extract magic.
+func IsExtract(data []byte) bool {
+	return len(data) >= 4 && binary.LittleEndian.Uint32(data) == extractMagic
+}
+
+// ExtractKind returns the kind tag of an extract container, or 0 when data
+// is not a well-formed extract header.
+func ExtractKind(data []byte) uint8 {
+	if !IsExtract(data) || len(data) < extractHeaderSize {
+		return 0
+	}
+	if binary.LittleEndian.Uint32(data[4:8]) != extractVersion {
+		return 0
+	}
+	return data[8]
+}
+
+// AppendEmptyExtract serializes the header-only "nothing this step" marker.
+func AppendEmptyExtract(dst []byte, step int, time float64) []byte {
+	le := binary.LittleEndian
+	var buf [extractHeaderSize]byte
+	le.PutUint32(buf[0:4], extractMagic)
+	le.PutUint32(buf[4:8], extractVersion)
+	buf[8] = KindEmpty
+	le.PutUint64(buf[9:17], uint64(int64(step)))
+	le.PutUint64(buf[17:25], math.Float64bits(time))
+	return append(dst, buf[:]...)
+}
+
+// DecodeEmptyExtract reverses AppendEmptyExtract.
+func DecodeEmptyExtract(data []byte) (step int, time float64, err error) {
+	if len(data) != extractHeaderSize || ExtractKind(data) != KindEmpty {
+		return 0, 0, fmt.Errorf("extracts: not an empty marker (%d bytes)", len(data))
+	}
+	le := binary.LittleEndian
+	return int(int64(le.Uint64(data[9:17]))), math.Float64frombits(le.Uint64(data[17:25])), nil
+}
+
+// AppendHistogramExtract serializes a histogram partial into a GOEX
+// container, appended to dst.
+func AppendHistogramExtract(dst []byte, p *HistogramPartial) []byte {
+	le := binary.LittleEndian
+	base := len(dst)
+	size := extractHeaderSize + 8*len(p.Counts)
+	if cap(dst)-base < size {
+		grown := make([]byte, base, base+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := dst[base : base+size]
+	dst = dst[:base+size]
+	le.PutUint32(buf[0:4], extractMagic)
+	le.PutUint32(buf[4:8], extractVersion)
+	buf[8] = KindHistogram
+	le.PutUint64(buf[9:17], uint64(int64(p.Step)))
+	le.PutUint64(buf[17:25], math.Float64bits(p.Time))
+	le.PutUint64(buf[25:33], math.Float64bits(p.Min))
+	le.PutUint64(buf[33:41], math.Float64bits(p.Max))
+	le.PutUint32(buf[41:45], uint32(len(p.Counts)))
+	off := extractHeaderSize
+	for _, c := range p.Counts {
+		le.PutUint64(buf[off:], uint64(c))
+		off += 8
+	}
+	return dst
+}
+
+// DecodeHistogramExtract reverses AppendHistogramExtract. Corrupt inputs
+// return errors without over-allocating: the bin count is validated against
+// both a hard bound and the bytes actually present before any allocation.
+func DecodeHistogramExtract(data []byte) (*HistogramPartial, error) {
+	le := binary.LittleEndian
+	if len(data) < extractHeaderSize {
+		return nil, fmt.Errorf("extracts: container %d bytes, want >= %d", len(data), extractHeaderSize)
+	}
+	if m := le.Uint32(data[0:4]); m != extractMagic {
+		return nil, fmt.Errorf("extracts: bad magic %#x", m)
+	}
+	if v := le.Uint32(data[4:8]); v != extractVersion {
+		return nil, fmt.Errorf("extracts: unsupported version %d", v)
+	}
+	if k := data[8]; k != KindHistogram {
+		return nil, fmt.Errorf("extracts: unsupported kind %d", k)
+	}
+	bins := int(le.Uint32(data[41:45]))
+	if bins <= 0 || bins > maxExtractBins {
+		return nil, fmt.Errorf("extracts: implausible bin count %d", bins)
+	}
+	if len(data) != extractHeaderSize+8*bins {
+		return nil, fmt.Errorf("extracts: container %d bytes, want %d for %d bins", len(data), extractHeaderSize+8*bins, bins)
+	}
+	p := &HistogramPartial{
+		Step:   int(int64(le.Uint64(data[9:17]))),
+		Time:   math.Float64frombits(le.Uint64(data[17:25])),
+		Min:    math.Float64frombits(le.Uint64(data[25:33])),
+		Max:    math.Float64frombits(le.Uint64(data[33:41])),
+		Counts: make([]int64, bins),
+	}
+	off := extractHeaderSize
+	for i := range p.Counts {
+		p.Counts[i] = int64(le.Uint64(data[off:]))
+		off += 8
+	}
+	return p, nil
+}
+
+// SlicePlane extracts the one-cell-thick slab of img normal to axis
+// (0=x, 1=y, 2=z) containing world coordinate coord, preserving the block's
+// global indexing, origin, and spacing. It returns nil when the plane
+// misses this block — in a multi-writer run only the blocks the plane cuts
+// through ship anything.
+func SlicePlane(img *grid.ImageData, axis int, coord float64) *grid.ImageData {
+	if axis < 0 || axis > 2 {
+		return nil
+	}
+	e := img.Extent
+	spacing := img.Spacing[axis]
+	if spacing == 0 {
+		spacing = 1
+	}
+	// The cell layer whose slab [origin + c*spacing, origin + (c+1)*spacing)
+	// contains the coordinate.
+	c := int(math.Floor((coord - img.Origin[axis]) / spacing))
+	loCell, hiCell := e[2*axis], e[2*axis+1]-1
+	if hiCell < loCell {
+		hiCell = loCell // degenerate axis: one cell layer
+	}
+	if c < loCell || c > hiCell {
+		return nil
+	}
+
+	sub := e
+	sub[2*axis] = c
+	sub[2*axis+1] = c + 1
+	if sub[2*axis+1] > e[2*axis+1] {
+		sub[2*axis+1] = e[2*axis+1] // degenerate source axis stays degenerate
+	}
+	out := grid.NewImageData(sub)
+	out.Origin = img.Origin
+	out.Spacing = img.Spacing
+
+	copyAttrs(out, img, grid.PointData, sub, e, pointDims(e), pointDims(sub))
+	copyAttrs(out, img, grid.CellData, sub, e, cellDims(e), cellDims(sub))
+	return out
+}
+
+func pointDims(e grid.Extent) [3]int {
+	nx, ny, nz := e.Dims()
+	return [3]int{nx, ny, nz}
+}
+
+func cellDims(e grid.Extent) [3]int {
+	cx, cy, cz := e.CellDims()
+	return [3]int{cx, cy, cz}
+}
+
+// copyAttrs copies the sub-extent's tuples of every attribute array from
+// src to dst, in the x-fastest layout the rest of the codebase uses. For
+// cell data the dims are cell dims (one less than points per
+// non-degenerate axis) and indices address cell layers.
+func copyAttrs(dst, src *grid.ImageData, assoc grid.Association, sub, full grid.Extent, fullDims, subDims [3]int) {
+	lo := [3]int{full[0], full[2], full[4]}
+	slo := [3]int{sub[0], sub[2], sub[4]}
+	fd := src.Attributes(assoc)
+	for ai := 0; ai < fd.Len(); ai++ {
+		a := fd.At(ai)
+		comps := a.Components()
+		vals := make([]float64, subDims[0]*subDims[1]*subDims[2]*comps)
+		di := 0
+		for k := 0; k < subDims[2]; k++ {
+			for j := 0; j < subDims[1]; j++ {
+				for i := 0; i < subDims[0]; i++ {
+					gi := slo[0] - lo[0] + i
+					gj := slo[1] - lo[1] + j
+					gk := slo[2] - lo[2] + k
+					si := gi + fullDims[0]*(gj+fullDims[1]*gk)
+					for cc := 0; cc < comps; cc++ {
+						vals[di] = a.Value(si, cc)
+						di++
+					}
+				}
+			}
+		}
+		dst.Attributes(assoc).Add(array.WrapAOS(a.Name(), comps, vals))
+	}
+}

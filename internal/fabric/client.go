@@ -35,6 +35,13 @@ type ClientOptions struct {
 	Backoff *Backoff
 	// Stats receives the connection's counters; nil allocates a private set.
 	Stats *Stats
+	// Codecs is the bitmask of codec IDs (1 << id) advertised in the Hello;
+	// 0 advertises AllCodecs. The endpoint picks one per connection and
+	// every data frame on that connection is encoded with it.
+	Codecs uint32
+	// ExtractCapable advertises that the caller can compute negotiated
+	// extracts and ship the reduced product instead of full containers.
+	ExtractCapable bool
 	// WrapConn, when set, decorates every freshly dialed connection before
 	// the handshake — the fault-injection seam (internal/faultline wraps
 	// conns here to kill, truncate, or stall traffic deterministically).
@@ -82,6 +89,9 @@ type Client struct {
 	closed     bool
 	fatal      error
 	broken     chan struct{} // kicks the run loop when the conn dies
+	codec      uint8         // negotiated codec for the current connection
+	extract    ExtractSpec   // negotiated extract (Kind == ExtractNone: none)
+	epoch      uint64        // bumped per successful (re)connect
 
 	// wmu serializes conn writes and guards wscratch. It is never acquired
 	// while c.mu is held and c.mu is never held across a blocking
@@ -91,6 +101,15 @@ type Client struct {
 	// writing the data it is not reading.
 	wmu      sync.Mutex
 	wscratch []byte
+	// enc is the per-connection-epoch codec state, touched only under wmu:
+	// the write lock's acquisition order IS the wire order, so encoding
+	// under it pins the delta chain to frame order. Pending messages store
+	// PLAIN payloads and are re-encoded at (re)transmit time — after a
+	// reconnect the fresh encoder keyframes first, which is exactly the
+	// delta-chain reset a restarted endpoint needs.
+	enc      *codecEncoder
+	encEpoch uint64
+	cscratch []byte // coded-payload staging, under wmu
 }
 
 // DialWriter creates a client. Connection is lazy: the first Send/Advance
@@ -131,6 +150,26 @@ func DialWriter(o ClientOptions) *Client {
 
 // Stats returns the client's counters.
 func (c *Client) Stats() *Stats { return c.stats }
+
+// Negotiated blocks until the first handshake completes (or the client
+// dies) and reports the codec and extract the endpoint chose. Reconnects to
+// the same endpoint renegotiate but the answer is stable for a fixed hub
+// configuration, so callers may shape their payloads around it for the
+// whole run.
+func (c *Client) Negotiated() (codec uint8, extract ExtractSpec, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !c.connected && c.fatal == nil && !c.closed {
+		c.cond.Wait()
+	}
+	if c.fatal != nil {
+		return 0, ExtractSpec{}, c.fatal
+	}
+	if !c.connected && c.closed {
+		return 0, ExtractSpec{}, ErrClientClosed
+	}
+	return c.codec, c.extract, nil
+}
 
 // Send stages one step's container. It blocks while the endpoint's queue
 // depth is exhausted (no credits) and returns only on a closed client or a
@@ -274,6 +313,13 @@ func (c *Client) Close() error {
 	case c.broken <- struct{}{}:
 	default:
 	}
+	// Return the codec buffers to the pool; wmu guarantees no write is
+	// mid-encode. A racing write that re-keys the state afterwards leaks a
+	// buffer set to the GC, which is harmless.
+	c.wmu.Lock()
+	c.enc.close()
+	c.enc = nil
+	c.wmu.Unlock()
 	return nil
 }
 
@@ -328,12 +374,22 @@ func (c *Client) connect() error {
 			}
 			var w Welcome
 			var fr *FrameReader
+			codecs := c.o.Codecs
+			if codecs == 0 {
+				codecs = AllCodecs
+			}
+			var flags uint32
+			if c.o.ExtractCapable {
+				flags |= HelloExtractCapable
+			}
 			w, fr, err = DialHello(conn, Hello{
 				Role:    RoleWriter,
 				Rank:    uint32(c.o.Rank),
 				Writers: uint32(c.o.Writers),
 				Readers: uint32(c.o.Readers),
 				Depth:   uint32(c.o.Depth),
+				Codecs:  codecs,
+				Flags:   flags,
 			})
 			if err == nil {
 				c.install(conn, fr, w)
@@ -367,6 +423,9 @@ func (c *Client) install(conn Conn, fr *FrameReader, w Welcome) {
 		c.credits = 0
 	}
 	c.conn = conn
+	c.codec = w.Codec
+	c.extract = w.Extract
+	c.epoch++ // writeFrameLocked rebuilds the codec state for the new epoch
 	reconnect := c.connected
 	c.connected = true
 	if reconnect {
@@ -417,15 +476,54 @@ func (c *Client) writeFrameLocked(typ FrameType, seq uint32, payload []byte) err
 	if conn == nil {
 		return fmt.Errorf("fabric: not connected")
 	}
+	codec := c.codec
+	epoch := c.epoch
 	deadline := 10 * time.Second
 	if c.readTimeout > deadline {
 		deadline = c.readTimeout
 	}
 	c.mu.Unlock()
 	c.wmu.Lock()
-	c.wscratch = AppendFrame(c.wscratch[:0], typ, seq, payload)
+	logical, wire := 0, 0
+	var encErr error
+	if typ == FrameData && codec != CodecRaw {
+		// Re-key the codec state when the connection epoch moved: the old
+		// delta chain died with the old connection, and the restarted
+		// endpoint holds no reference — the first frame of the new state is
+		// a keyframe. A write racing a concurrent reconnect may rebuild the
+		// state for a conn that is already dead; that only costs an extra
+		// keyframe on the next live write, never a broken chain, because
+		// every rebuild starts with a self-contained frame.
+		if c.enc == nil || c.encEpoch != epoch || c.enc.id != codec {
+			c.enc.close()
+			c.enc = newCodecEncoder(codec)
+			c.encEpoch = epoch
+		}
+		step, container, serr := SplitStepPayload(payload)
+		if serr == nil {
+			var body []byte
+			var key bool
+			body, key, encErr = c.enc.encode(container)
+			if encErr == nil {
+				c.cscratch = AppendCodedStepPayload(c.cscratch[:0], step, codec, key, body)
+				c.wscratch = AppendFrame(c.wscratch[:0], typ, seq, c.cscratch)
+				logical, wire = len(payload), len(c.cscratch)
+			}
+		} else {
+			encErr = serr
+		}
+	}
+	if (typ != FrameData || codec == CodecRaw) && encErr == nil {
+		c.wscratch = AppendFrame(c.wscratch[:0], typ, seq, payload)
+		if typ == FrameData {
+			logical, wire = len(payload), len(payload)
+		}
+	}
 	n := len(c.wscratch)
-	err := conn.SetWriteDeadline(time.Now().Add(deadline))
+	err := encErr
+	if err == nil {
+		err = conn.SetWriteDeadline(time.Now().Add(deadline))
+	}
 	if err == nil {
 		_, err = conn.Write(c.wscratch)
 	}
@@ -436,6 +534,9 @@ func (c *Client) writeFrameLocked(typ FrameType, seq uint32, payload []byte) err
 		return err
 	}
 	c.stats.CountOut(n)
+	if typ == FrameData {
+		c.stats.CountData(logical, wire)
+	}
 	return nil
 }
 

@@ -1,0 +1,232 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecNames(t *testing.T) {
+	for _, id := range []uint8{CodecRaw, CodecFlate, CodecDelta} {
+		got, err := ParseCodec(CodecName(id))
+		if err != nil || got != id {
+			t.Fatalf("ParseCodec(CodecName(%d)) = %d, %v", id, got, err)
+		}
+	}
+	if _, err := ParseCodec("zstd"); !errors.Is(err, ErrCodecUnknown) {
+		t.Fatalf("ParseCodec(zstd) err = %v, want ErrCodecUnknown", err)
+	}
+}
+
+func TestChooseCodec(t *testing.T) {
+	cases := []struct {
+		pref    []uint8
+		offered uint32
+		want    uint8
+	}{
+		{[]uint8{CodecDelta, CodecFlate}, AllCodecs, CodecDelta},
+		{[]uint8{CodecDelta, CodecFlate}, 1 << CodecFlate, CodecFlate},
+		{[]uint8{CodecDelta}, 1 << CodecRaw, CodecRaw}, // v1 peer: nothing offered beyond raw
+		{[]uint8{CodecDelta}, 0, CodecRaw},
+		{nil, AllCodecs, CodecRaw},
+		{[]uint8{200, CodecFlate}, AllCodecs, CodecFlate}, // unknown preference skipped
+	}
+	for i, c := range cases {
+		if got := chooseCodec(c.pref, c.offered); got != c.want {
+			t.Fatalf("case %d: chooseCodec(%v, %b) = %d, want %d", i, c.pref, c.offered, got, c.want)
+		}
+	}
+}
+
+func TestShuffle8RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 64, 100, 1023} {
+		src := make([]byte, n)
+		rng.Read(src)
+		sh := make([]byte, n)
+		back := make([]byte, n)
+		shuffle8(sh, src)
+		unshuffle8(back, sh)
+		if !bytes.Equal(back, src) {
+			t.Fatalf("n=%d: unshuffle(shuffle(x)) != x", n)
+		}
+	}
+}
+
+// TestCodecRoundTripProperty: a chain of steps through one encoder decodes
+// bit-identical through one decoder, for every codec and for payload shapes
+// including non-multiple-of-8 lengths, size changes mid-chain (forcing a
+// keyframe), and empty steps.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, id := range []uint8{CodecFlate, CodecDelta} {
+			enc := newCodecEncoder(id)
+			dec := newCodecDecoder(id, 0)
+			steps := 1 + rng.Intn(6)
+			size := rng.Intn(4096)
+			field := make([]float64, 512)
+			for i := range field {
+				field[i] = rng.NormFloat64()
+			}
+			for s := 0; s < steps; s++ {
+				if rng.Intn(4) == 0 {
+					size = rng.Intn(4096) // shape change: chain must keyframe
+				}
+				payload := make([]byte, size)
+				// Smooth-ish content: slowly evolving float64 bit patterns,
+				// like consecutive oscillator steps.
+				for i := 0; i+8 <= size; i += 8 {
+					field[(i/8)%len(field)] += rng.NormFloat64() * 1e-3
+					v := math.Float64bits(field[(i/8)%len(field)])
+					for b := 0; b < 8; b++ {
+						payload[i+b] = byte(v >> (8 * b))
+					}
+				}
+				body, key, err := enc.encode(payload)
+				if err != nil {
+					t.Logf("encode: %v", err)
+					return false
+				}
+				if s == 0 && !key {
+					t.Log("first frame was not a keyframe")
+					return false
+				}
+				got, err := dec.decode(body, key)
+				if err != nil {
+					t.Logf("decode: %v", err)
+					return false
+				}
+				if !bytes.Equal(got, payload) {
+					t.Logf("step %d (codec %s, %d bytes): round trip differs", s, CodecName(id), size)
+					return false
+				}
+			}
+			enc.close()
+			dec.close()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(17))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCodecKeyframeResetsChain models the reconnect path: a fresh decoder
+// (endpoint restart) can only resume from a keyframe, and the encoder
+// produces one when asked to restart its epoch.
+func TestCodecKeyframeResetsChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	payloads := make([][]byte, 4)
+	for i := range payloads {
+		payloads[i] = make([]byte, 256)
+		rng.Read(payloads[i])
+	}
+
+	enc := newCodecEncoder(CodecDelta)
+	defer enc.close()
+	dec := newCodecDecoder(CodecDelta, 0)
+	for i := 0; i < 2; i++ {
+		body, key, err := enc.encode(payloads[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && key {
+			t.Fatal("steady-state frame unexpectedly keyframed")
+		}
+		if _, err := dec.decode(body, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec.close()
+
+	// Endpoint dies. A new decoder must reject the continuation of the old
+	// chain...
+	dec2 := newCodecDecoder(CodecDelta, 0)
+	defer dec2.close()
+	body, key, err := enc.encode(payloads[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key {
+		t.Fatal("expected a delta frame to demonstrate the chain break")
+	}
+	if _, err := dec2.decode(body, key); !errors.Is(err, ErrCodecChain) {
+		t.Fatalf("decode of mid-chain delta on fresh decoder: err = %v, want ErrCodecChain", err)
+	}
+
+	// ...and accept a fresh epoch: new encoder state → keyframe first.
+	enc2 := newCodecEncoder(CodecDelta)
+	defer enc2.close()
+	for i, p := range payloads {
+		body, key, err := enc2.encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (i == 0) != key {
+			t.Fatalf("frame %d keyframe = %v", i, key)
+		}
+		got, err := dec2.decode(body, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: round trip differs after epoch reset", i)
+		}
+	}
+}
+
+// TestCodecDecodeBound: a body claiming (or actually holding) more than the
+// configured payload bound errors out without materializing the excess.
+func TestCodecDecodeBound(t *testing.T) {
+	enc := newCodecEncoder(CodecFlate)
+	defer enc.close()
+	big := make([]byte, 1<<20) // zeros: compresses to ~1KB
+	body, key, err := enc.encode(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const max = 64 << 10
+	dec := newCodecDecoder(CodecFlate, max)
+	defer dec.close()
+	if _, err := dec.decode(body, key); !errors.Is(err, ErrCodecTooLarge) {
+		t.Fatalf("decode err = %v, want ErrCodecTooLarge", err)
+	}
+	if cap(dec.infl) > max+growStep {
+		t.Fatalf("inflate buffer grew to %d, far past the %d bound", cap(dec.infl), max)
+	}
+}
+
+// TestCodecDecodeCorrupt: bit flips in compressed bodies produce errors,
+// never panics.
+func TestCodecDecodeCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	enc := newCodecEncoder(CodecDelta)
+	defer enc.close()
+	payload := make([]byte, 2048)
+	rng.Read(payload)
+	body, key, err := enc.encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		mut := append([]byte(nil), body...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		dec := newCodecDecoder(CodecDelta, 1<<20)
+		got, err := dec.decode(mut, key)
+		if err == nil && !bytes.Equal(got, payload) {
+			// A flip the checksum-free flate stream tolerates may decode to
+			// different bytes; that layer's integrity comes from the frame
+			// CRC. It must simply not panic or over-allocate.
+			if len(got) > 1<<20 {
+				t.Fatalf("mutation %d: decoded %d bytes past bound", i, len(got))
+			}
+		}
+		dec.close()
+	}
+}

@@ -190,6 +190,40 @@ func SplitStepPayload(p []byte) (step int, container []byte, err error) {
 	return int(int64(binary.LittleEndian.Uint64(p[:8]))), p[8:], nil
 }
 
+// Coded data payloads. When the handshake negotiates a codec other than
+// raw, every FrameData payload switches from the legacy step+container
+// layout to step(8) + codec ID(1) + flags(1) + coded body, so a decoder can
+// verify it is applying the negotiated transform and knows whether the
+// frame is a keyframe (self-contained) or a delta against the previous
+// step.
+const (
+	codedStepHeader = 10
+	// codedKeyframe marks a frame that decodes without a previous-step
+	// reference — the delta-chain reset a reconnect replays with.
+	codedKeyframe uint8 = 1 << 0
+)
+
+// AppendCodedStepPayload builds a coded FrameData payload.
+func AppendCodedStepPayload(dst []byte, step int, codec uint8, keyframe bool, body []byte) []byte {
+	var hdr [codedStepHeader]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(int64(step)))
+	hdr[8] = codec
+	if keyframe {
+		hdr[9] = codedKeyframe
+	}
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// SplitCodedStepPayload reverses AppendCodedStepPayload. The returned body
+// aliases p.
+func SplitCodedStepPayload(p []byte) (step int, codec uint8, keyframe bool, body []byte, err error) {
+	if len(p) < codedStepHeader {
+		return 0, 0, false, nil, fmt.Errorf("fabric: coded data payload too short (%d bytes)", len(p))
+	}
+	return int(int64(binary.LittleEndian.Uint64(p[:8]))), p[8], p[9]&codedKeyframe != 0, p[codedStepHeader:], nil
+}
+
 // AppendSteerPayload encodes a steering command — the FrameSteer payload.
 func AppendSteerPayload(dst []byte, name string, value float64) []byte {
 	var hdr [2]byte

@@ -60,3 +60,58 @@ func FuzzFrameDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCodecDecode hammers the wire-codec decoder with arbitrary compressed
+// bodies: corrupt DEFLATE streams, truncations, and bodies inflating past
+// the configured bound must all return errors — never panic — and the
+// inflate buffer must never balloon past the bound regardless of what the
+// (attacker-controlled) stream claims or contains.
+func FuzzCodecDecode(f *testing.F) {
+	// Seed with real encoder output: keyframes and mid-chain deltas for
+	// both compressing codecs, plus corrupt and truncated variants.
+	step0 := make([]byte, 1024)
+	step1 := make([]byte, 1024)
+	for i := range step0 {
+		step0[i] = byte(i * 7)
+		step1[i] = byte(i*7 + i/64) // small drift, like consecutive steps
+	}
+	for _, id := range []uint8{CodecFlate, CodecDelta} {
+		enc := newCodecEncoder(id)
+		b0, _, err := enc.encode(step0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(id, true, append([]byte(nil), b0...))
+		b1, key1, err := enc.encode(step1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(id, key1, append([]byte(nil), b1...))
+		corrupt := append([]byte(nil), b1...)
+		corrupt[len(corrupt)/2] ^= 0x40
+		f.Add(id, key1, corrupt)
+		f.Add(id, true, b0[:len(b0)/2])
+		enc.close()
+	}
+	f.Add(uint8(CodecFlate), true, []byte{})
+
+	f.Fuzz(func(t *testing.T, id uint8, keyframe bool, body []byte) {
+		if id != CodecFlate {
+			id = CodecDelta
+		}
+		const max = 1 << 16
+		d := newCodecDecoder(id, max)
+		defer d.close()
+		// Two passes: the second decodes with a previous-step reference in
+		// place (when the first succeeded), covering the delta-XOR path.
+		for pass := 0; pass < 2; pass++ {
+			out, err := d.decode(body, keyframe)
+			if err == nil && len(out) > max {
+				t.Fatalf("decoded %d bytes past the %d bound", len(out), max)
+			}
+			if cap(d.infl) > max+growStep {
+				t.Fatalf("inflate buffer grew to %d, past the %d bound", cap(d.infl), max)
+			}
+		}
+	})
+}

@@ -3,14 +3,26 @@ package fabric
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"time"
 )
 
 // ProtocolVersion is bumped on any incompatible wire change; both halves of
-// the handshake carry it and a mismatch refuses the connection — the
-// FlexPath property that a recompiled endpoint can rejoin a run only if it
-// still speaks the writer's protocol.
-const ProtocolVersion = 1
+// the handshake carry it — the FlexPath property that a recompiled endpoint
+// can rejoin a run only if it still speaks the writer's protocol.
+//
+// Version 2 (PR 6) extends the exchange with bandwidth-reduction
+// negotiation: the Hello advertises the writer's codec set and extract
+// capability, the Welcome answers with the codec the endpoint chose and an
+// optional extract specification. Version-1 peers are still accepted —
+// their shorter payloads decode to "raw, no extract" — but the fallback is
+// acceptor-driven: a current dialer talking to a genuinely old acceptor is
+// refused (the old acceptor rejects the longer Hello), while a current
+// acceptor welcomes an old dialer at version-1 semantics.
+const ProtocolVersion = 2
+
+// minProtocolVersion is the oldest peer version still accepted.
+const minProtocolVersion = 1
 
 // Role identifies what a dialing peer is.
 type Role uint8
@@ -22,10 +34,39 @@ const (
 	RoleViewer Role = 2
 )
 
+// Hello flag bits.
+const (
+	// HelloExtractCapable marks a writer that can compute negotiated
+	// extracts (histogram, slice) locally and ship the reduced product in
+	// place of the full container.
+	HelloExtractCapable uint32 = 1 << 0
+)
+
+// Extract kinds carried in a Welcome's ExtractSpec.
+const (
+	ExtractNone uint8 = iota
+	ExtractHistogram
+	ExtractSlice
+)
+
+// ExtractSpec describes the reduced product an endpoint wants in place of
+// full staged containers — the Catalyst-ADIOS2 "reduce before the wire"
+// pattern. Kind selects the product; the remaining fields parameterize it
+// (Bins and Array/Assoc for histograms; Axis, Coord, Array for slices).
+type ExtractSpec struct {
+	Kind  uint8
+	Assoc uint8
+	Bins  uint32
+	Axis  uint32
+	Coord float64
+	Array string
+}
+
 // Hello is the dialer's half of the handshake: who it is and, for writers,
-// the group geometry it believes it is joining. The acceptor validates the
-// geometry so a misconfigured writer fails loudly at connect rather than
-// silently misrouting blocks.
+// the group geometry it believes it is joining, plus the bandwidth-reduction
+// capabilities it offers. The acceptor validates the geometry so a
+// misconfigured writer fails loudly at connect rather than silently
+// misrouting blocks.
 type Hello struct {
 	Version uint32
 	Role    Role
@@ -33,25 +74,38 @@ type Hello struct {
 	Writers uint32
 	Readers uint32
 	Depth   uint32
+	// Codecs is the bitmask of codec IDs the dialer can encode (1 << id);
+	// a version-1 peer implicitly offers only CodecRaw.
+	Codecs uint32
+	// Flags carries Hello* capability bits.
+	Flags uint32
 }
 
-// Welcome is the acceptor's half: the credit grant and, after a reconnect,
-// the highest sequence number already released so the dialer can prune its
-// retransmit buffer.
+// Welcome is the acceptor's half: the credit grant, the highest sequence
+// number already released (so a reconnecting dialer can prune its
+// retransmit buffer), and the negotiated bandwidth reduction — the codec
+// every subsequent data frame on this connection must use, and the extract
+// the endpoint wants instead of full containers (Kind == ExtractNone ships
+// containers).
 type Welcome struct {
 	Version  uint32
 	Credits  uint32
 	Released uint32
+	Codec    uint8
+	Extract  ExtractSpec
 }
 
 const (
-	helloPayloadLen   = 4 + 1 + 4 + 4 + 4 + 4
-	welcomePayloadLen = 4 + 4 + 4
+	helloV1Len   = 4 + 1 + 4 + 4 + 4 + 4
+	helloV2Len   = helloV1Len + 4 + 4
+	welcomeV1Len = 4 + 4 + 4
+	// welcomeV2Len is the fixed prefix; the extract array name follows.
+	welcomeV2Len = welcomeV1Len + 1 + 1 + 1 + 4 + 4 + 8 + 2
 )
 
-// appendHello encodes a Hello payload.
+// appendHello encodes a Hello payload (current version).
 func appendHello(dst []byte, h Hello) []byte {
-	var b [helloPayloadLen]byte
+	var b [helloV2Len]byte
 	le := binary.LittleEndian
 	le.PutUint32(b[0:4], h.Version)
 	b[4] = byte(h.Role)
@@ -59,46 +113,91 @@ func appendHello(dst []byte, h Hello) []byte {
 	le.PutUint32(b[9:13], h.Writers)
 	le.PutUint32(b[13:17], h.Readers)
 	le.PutUint32(b[17:21], h.Depth)
+	le.PutUint32(b[21:25], h.Codecs)
+	le.PutUint32(b[25:29], h.Flags)
 	return append(dst, b[:]...)
 }
 
-// decodeHello reverses appendHello.
+// decodeHello reverses appendHello, tolerating the version-1 length (whose
+// missing fields decode to raw-only, no capabilities).
 func decodeHello(p []byte) (Hello, error) {
-	if len(p) != helloPayloadLen {
-		return Hello{}, fmt.Errorf("fabric: hello payload %d bytes, want %d", len(p), helloPayloadLen)
+	if len(p) != helloV1Len && len(p) != helloV2Len {
+		return Hello{}, fmt.Errorf("fabric: hello payload %d bytes, want %d or %d", len(p), helloV1Len, helloV2Len)
 	}
 	le := binary.LittleEndian
-	return Hello{
+	h := Hello{
 		Version: le.Uint32(p[0:4]),
 		Role:    Role(p[4]),
 		Rank:    le.Uint32(p[5:9]),
 		Writers: le.Uint32(p[9:13]),
 		Readers: le.Uint32(p[13:17]),
 		Depth:   le.Uint32(p[17:21]),
-	}, nil
+		Codecs:  1 << CodecRaw,
+	}
+	if len(p) == helloV2Len {
+		h.Codecs = le.Uint32(p[21:25])
+		h.Flags = le.Uint32(p[25:29])
+	}
+	return h, nil
 }
 
-// appendWelcome encodes a Welcome payload.
+// appendWelcome encodes a Welcome payload (current version).
 func appendWelcome(dst []byte, w Welcome) []byte {
-	var b [welcomePayloadLen]byte
+	var b [welcomeV2Len]byte
 	le := binary.LittleEndian
 	le.PutUint32(b[0:4], w.Version)
 	le.PutUint32(b[4:8], w.Credits)
 	le.PutUint32(b[8:12], w.Released)
-	return append(dst, b[:]...)
+	b[12] = w.Codec
+	b[13] = w.Extract.Kind
+	b[14] = w.Extract.Assoc
+	le.PutUint32(b[15:19], w.Extract.Bins)
+	le.PutUint32(b[19:23], w.Extract.Axis)
+	le.PutUint64(b[23:31], math.Float64bits(w.Extract.Coord))
+	le.PutUint16(b[31:33], uint16(len(w.Extract.Array)))
+	dst = append(dst, b[:]...)
+	return append(dst, w.Extract.Array...)
 }
 
-// decodeWelcome reverses appendWelcome.
+// decodeWelcome reverses appendWelcome, tolerating the version-1 length
+// (which decodes to raw, no extract).
 func decodeWelcome(p []byte) (Welcome, error) {
-	if len(p) != welcomePayloadLen {
-		return Welcome{}, fmt.Errorf("fabric: welcome payload %d bytes, want %d", len(p), welcomePayloadLen)
-	}
 	le := binary.LittleEndian
+	if len(p) == welcomeV1Len {
+		return Welcome{
+			Version:  le.Uint32(p[0:4]),
+			Credits:  le.Uint32(p[4:8]),
+			Released: le.Uint32(p[8:12]),
+			Codec:    CodecRaw,
+		}, nil
+	}
+	if len(p) < welcomeV2Len {
+		return Welcome{}, fmt.Errorf("fabric: welcome payload %d bytes, want %d or >= %d", len(p), welcomeV1Len, welcomeV2Len)
+	}
+	nameLen := int(le.Uint16(p[31:33]))
+	if len(p) != welcomeV2Len+nameLen {
+		return Welcome{}, fmt.Errorf("fabric: welcome payload %d bytes, want %d for %d-byte extract array", len(p), welcomeV2Len+nameLen, nameLen)
+	}
 	return Welcome{
 		Version:  le.Uint32(p[0:4]),
 		Credits:  le.Uint32(p[4:8]),
 		Released: le.Uint32(p[8:12]),
+		Codec:    p[12],
+		Extract: ExtractSpec{
+			Kind:  p[13],
+			Assoc: p[14],
+			Bins:  le.Uint32(p[15:19]),
+			Axis:  le.Uint32(p[19:23]),
+			Coord: math.Float64frombits(le.Uint64(p[23:31])),
+			Array: string(p[33 : 33+nameLen]),
+		},
 	}, nil
+}
+
+// versionAccepted reports whether a peer's protocol version is one this
+// build interoperates with.
+func versionAccepted(v uint32) bool {
+	return v >= minProtocolVersion && v <= ProtocolVersion
 }
 
 // handshakeTimeout bounds each half of the exchange.
@@ -129,8 +228,11 @@ func DialHello(c Conn, h Hello) (Welcome, *FrameReader, error) {
 	if err != nil {
 		return Welcome{}, nil, err
 	}
-	if w.Version != ProtocolVersion {
+	if !versionAccepted(w.Version) {
 		return Welcome{}, nil, fmt.Errorf("fabric: protocol version mismatch: peer %d, ours %d", w.Version, ProtocolVersion)
+	}
+	if w.Codec != CodecRaw && h.Codecs&(1<<w.Codec) == 0 {
+		return Welcome{}, nil, fmt.Errorf("fabric: endpoint chose unoffered codec %s", CodecName(w.Codec))
 	}
 	if err := c.SetDeadline(time.Time{}); err != nil {
 		return Welcome{}, nil, fmt.Errorf("fabric: clear deadline: %w", err)
@@ -158,17 +260,32 @@ func AcceptHello(c Conn) (Hello, *FrameReader, error) {
 	if err != nil {
 		return Hello{}, nil, err
 	}
-	if h.Version != ProtocolVersion {
+	if !versionAccepted(h.Version) {
 		return Hello{}, nil, fmt.Errorf("fabric: protocol version mismatch: peer %d, ours %d", h.Version, ProtocolVersion)
 	}
 	return h, fr, nil
 }
 
 // SendWelcome completes the server half of the handshake and clears the
-// handshake deadline. The Version field is filled in.
-func SendWelcome(c Conn, w Welcome) error {
+// handshake deadline. The Version field is filled in; peerVersion is the
+// dialer's Hello version, so a version-1 dialer receives the short payload
+// it can parse (necessarily raw / no extract — negotiation requires both
+// halves at version 2).
+func SendWelcome(c Conn, w Welcome, peerVersion uint32) error {
 	w.Version = ProtocolVersion
-	frame := AppendFrame(nil, FrameWelcome, 0, appendWelcome(nil, w))
+	var payload []byte
+	if peerVersion < 2 {
+		w.Version = peerVersion // a v1 dialer rejects any other version
+		var b [welcomeV1Len]byte
+		le := binary.LittleEndian
+		le.PutUint32(b[0:4], w.Version)
+		le.PutUint32(b[4:8], w.Credits)
+		le.PutUint32(b[8:12], w.Released)
+		payload = b[:]
+	} else {
+		payload = appendWelcome(nil, w)
+	}
+	frame := AppendFrame(nil, FrameWelcome, 0, payload)
 	if _, err := c.Write(frame); err != nil {
 		return fmt.Errorf("fabric: send welcome: %w", err)
 	}

@@ -47,6 +47,14 @@ type HubOptions struct {
 	ReadTimeout time.Duration
 	// Stats receives the hub's counters; nil allocates a private set.
 	Stats *Stats
+	// Codecs is the endpoint's codec preference, most preferred first; the
+	// first entry a writer's Hello mask supports wins. Nil or no match
+	// negotiates raw (which is also what a version-1 writer gets).
+	Codecs []uint8
+	// Extract, when non-nil, asks extract-capable writers to ship this
+	// reduced product instead of full containers. Writers that did not
+	// advertise HelloExtractCapable still ship containers.
+	Extract *ExtractSpec
 }
 
 // hubWriter is the per-writer-rank connection and sequence state. The
@@ -194,6 +202,14 @@ func (h *Hub) serve(conn Conn) {
 	}
 	rank := int(hello.Rank)
 	st := h.writer(rank)
+	// Negotiate the bandwidth reduction for this connection: codec from the
+	// endpoint's preference intersected with the writer's advertised mask,
+	// extract only if the writer declared it can compute one.
+	codec := chooseCodec(h.o.Codecs, hello.Codecs)
+	welcome := Welcome{Credits: uint32(h.o.Depth), Codec: codec}
+	if h.o.Extract != nil && hello.Flags&HelloExtractCapable != 0 {
+		welcome.Extract = *h.o.Extract
+	}
 	// The Welcome must be the first frame the dialer sees, and every write
 	// on a connection must be serialized under st.mu — so send it while
 	// holding st.mu and only then publish st.conn. Otherwise a concurrent
@@ -203,8 +219,8 @@ func (h *Hub) serve(conn Conn) {
 	// handshake deadline AcceptHello installed.
 	st.mu.Lock()
 	old := st.conn
-	released := st.lastReleased
-	if err := SendWelcome(conn, Welcome{Credits: uint32(h.o.Depth), Released: released}); err != nil {
+	welcome.Released = st.lastReleased
+	if err := SendWelcome(conn, welcome, hello.Version); err != nil {
 		st.mu.Unlock()
 		_ = conn.Close()
 		return
@@ -215,6 +231,11 @@ func (h *Hub) serve(conn Conn) {
 		_ = old.Close()
 	}
 	reader := ReaderOf(rank, h.o.Writers, h.o.Readers)
+	// Per-connection decoder state: the delta chain is scoped to one
+	// connection, so a reconnect starts fresh (and the writer's first frame
+	// on the new connection is a keyframe).
+	dec := newCodecDecoder(codec, MaxPayload)
+	defer dec.close()
 
 	for {
 		if h.o.ReadTimeout > 0 {
@@ -239,6 +260,43 @@ func (h *Hub) serve(conn Conn) {
 			h.mu.Unlock()
 			st.writeFrame(h.stats, FrameAdvanceAck, seq, nil)
 		case FrameData, FrameEOS:
+			// Decode BEFORE the dedup branches: on a reconnect the frames in
+			// the (lastReleased, lastDelivered] window are retransmitted but
+			// not re-delivered, yet each one must still advance this
+			// connection's delta chain or every later frame is undecodable.
+			var step int
+			var container []byte
+			if typ == FrameData {
+				var perr error
+				if dec != nil {
+					var cid uint8
+					var key bool
+					var body []byte
+					step, cid, key, body, perr = SplitCodedStepPayload(payload)
+					if perr == nil && cid != codec {
+						perr = fmt.Errorf("fabric: frame codec %s, negotiated %s", CodecName(cid), CodecName(codec))
+					}
+					if perr == nil {
+						container, perr = dec.decode(body, key)
+					}
+					if perr == nil {
+						h.stats.CountData(8+len(container), len(payload))
+					}
+				} else {
+					step, container, perr = SplitStepPayload(payload)
+					if perr == nil {
+						h.stats.CountData(len(payload), len(payload))
+					}
+				}
+				if perr != nil {
+					// A frame that passed the CRC but fails the codec is a
+					// protocol breach or lost chain state; drop the
+					// connection — the writer redials and the fresh epoch
+					// keyframes.
+					h.retire(st, conn)
+					return
+				}
+			}
 			st.mu.Lock()
 			if seq <= st.lastReleased {
 				// Retransmit of a message the analysis already consumed
@@ -258,15 +316,6 @@ func (h *Hub) serve(conn Conn) {
 			st.mu.Unlock()
 			d := Delivery{Writer: rank, EOS: typ == FrameEOS}
 			if typ == FrameData {
-				step, container, perr := SplitStepPayload(payload)
-				if perr != nil {
-					_ = conn.Close()
-					st.mu.Lock()
-					st.lastDelivered = seq - 1
-					st.mu.Unlock()
-					h.retire(st, conn)
-					return
-				}
 				d.Step = step
 				d.Payload = append([]byte(nil), container...)
 			}

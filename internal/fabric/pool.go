@@ -1,0 +1,42 @@
+package fabric
+
+import "sync"
+
+// BufPool recycles payload-scale scratch buffers across connection epochs.
+// Get hands out a zero-length slice with at least the requested capacity;
+// Put returns a buffer to the pool. A buffer handed to Put belongs to the
+// pool again — retaining or reading it afterwards races with the next Get
+// (gosenseilint's ownership rule enforces this, the same contract as
+// mpi.SendOwned buffers).
+type BufPool struct {
+	p sync.Pool
+}
+
+// Get returns an empty slice with capacity >= capacity, reusing a pooled
+// buffer when one is large enough.
+func (p *BufPool) Get(capacity int) []byte {
+	if v := p.p.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= capacity {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, capacity)
+}
+
+// Put returns b's backing storage to the pool. The caller must not touch b
+// afterwards.
+func (p *BufPool) Put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	p.p.Put(&b)
+}
+
+// payloadBufs is the shared pool behind the codec states' working buffers:
+// one connection epoch's encoder/decoder borrows its delta/shuffle/compress
+// scratch here and returns it when the connection dies, so steady-state
+// staging allocates nothing per step and reconnects recycle instead of
+// growing fresh multi-MB buffers.
+var payloadBufs BufPool

@@ -21,6 +21,13 @@ type Stats struct {
 	// mean RTT = HeartbeatRTTNanos / Heartbeats.
 	Heartbeats        metrics.Counter
 	HeartbeatRTTNanos metrics.Counter
+	// The bytes-on-wire odometer: for every data frame, DataBytesLogical
+	// accumulates the plain (pre-codec) payload size and DataBytesWire the
+	// payload size that actually crossed the wire, so
+	// 1 - Wire/Logical is the bandwidth reduction the negotiated codec or
+	// extract bought. With CodecRaw and no extract the two columns match.
+	DataBytesLogical metrics.Counter
+	DataBytesWire    metrics.Counter
 }
 
 // CountIn tallies one received frame.
@@ -39,6 +46,33 @@ func (s *Stats) CountOut(frameLen int) {
 	}
 	s.FramesOut.Inc()
 	s.BytesOut.Add(int64(frameLen))
+}
+
+// CountData advances the bytes-on-wire odometer for one data frame:
+// logical is the plain payload size, wire what was actually framed.
+func (s *Stats) CountData(logical, wire int) {
+	if s == nil {
+		return
+	}
+	s.DataBytesLogical.Add(int64(logical))
+	s.DataBytesWire.Add(int64(wire))
+}
+
+// WireReduction reports the fraction of logical data bytes the codec or
+// extract kept off the wire (0 when nothing was saved or nothing was sent).
+func (s *Stats) WireReduction() float64 {
+	if s == nil {
+		return 0
+	}
+	logical := s.DataBytesLogical.Value()
+	if logical == 0 {
+		return 0
+	}
+	r := 1 - float64(s.DataBytesWire.Value())/float64(logical)
+	if r < 0 {
+		return 0
+	}
+	return r
 }
 
 // countHeartbeat tallies one completed heartbeat round trip.
@@ -68,9 +102,10 @@ func (s *Stats) Summary() string {
 	if s == nil {
 		return "fabric: no stats"
 	}
-	return fmt.Sprintf("frames in/out %d/%d, bytes in/out %d/%d, retransmits %d, reconnects %d, heartbeat rtt %s (%d beats)",
+	return fmt.Sprintf("frames in/out %d/%d, bytes in/out %d/%d, data bytes %d logical / %d wire (%.1f%% reduction), retransmits %d, reconnects %d, heartbeat rtt %s (%d beats)",
 		s.FramesIn.Value(), s.FramesOut.Value(),
 		s.BytesIn.Value(), s.BytesOut.Value(),
+		s.DataBytesLogical.Value(), s.DataBytesWire.Value(), 100*s.WireReduction(),
 		s.Retransmits.Value(), s.Reconnects.Value(),
 		s.MeanHeartbeatRTT(), s.Heartbeats.Value())
 }

@@ -31,6 +31,7 @@ import (
 	"gosensei/internal/adios"
 	"gosensei/internal/analysis"
 	"gosensei/internal/core"
+	"gosensei/internal/fabric"
 	"gosensei/internal/faultline"
 	"gosensei/internal/grid"
 	"gosensei/internal/iosim"
@@ -111,11 +112,13 @@ func (r *histRecorder) Finalize() error { return nil }
 
 // stagingRun drives the full in transit pipeline — oscillator writers ->
 // FlexPath fabric -> endpoint histogram — under a fault schedule, returning
-// the canonical analysis output and the schedule's fired-fault trace.
-func stagingRun(sched *faultline.Schedule) (string, []string, error) {
+// the canonical analysis output and the schedule's fired-fault trace. Fabric
+// options select the wire variant (codec preference, extract negotiation);
+// every variant must produce the same canonical output.
+func stagingRun(sched *faultline.Schedule, fabOpts ...adios.FabricOption) (string, []string, error) {
 	run := sched.Start()
 	cfg := e2eConfig()
-	fab := adios.NewFabricNM(e2eWriters, 1, e2eDepth)
+	fab := adios.NewFabricNM(e2eWriters, 1, e2eDepth, fabOpts...)
 	if fp := run.FabricPlan(); fp != nil {
 		fab.SetConnWrapper(fp.WrapConn)
 	}
@@ -287,6 +290,84 @@ func TestMetamorphicStaging(t *testing.T) {
 			}
 			if out != clean {
 				faultf(t, sched, "output diverged from fault-free run\nclean:\n%s\nfaulty:\n%s", clean, out)
+			}
+		})
+	}
+}
+
+// TestMetamorphicStagingVariants extends the metamorphic property across the
+// negotiated wire variants: delta and flate codecs, and extract shipping,
+// each compared against the RAW fault-free run — so the codec layer, the
+// reconnect retransmit path, and the writer-side histogram reduction must
+// all be invisible to the analysis. A hand-written kill schedule pins the
+// hardest case deterministically: both writers lose their connection mid-run,
+// reconnect, and must replay pending steps with the negotiated codec and a
+// reset delta chain (the restarted endpoint has no previous-step reference).
+func TestMetamorphicStagingVariants(t *testing.T) {
+	clean, _, err := stagingRun(&faultline.Schedule{Seed: 0})
+	if err != nil {
+		t.Fatalf("fault-free raw pipeline: %v", err)
+	}
+	extractSpec := fabric.ExtractSpec{
+		Kind:  fabric.ExtractHistogram,
+		Assoc: uint8(grid.CellData),
+		Bins:  uint32(e2eBins),
+		Array: "data",
+	}
+	variants := []struct {
+		name string
+		opts []adios.FabricOption
+	}{
+		{"flate", []adios.FabricOption{adios.WithCodecs(fabric.CodecFlate)}},
+		{"delta", []adios.FabricOption{adios.WithCodecs(fabric.CodecDelta)}},
+		{"extract-delta", []adios.FabricOption{
+			adios.WithExtract(extractSpec), adios.WithCodecs(fabric.CodecDelta)}},
+	}
+	menu := faultline.Menu{MPI: true, Fabric: true, Ranks: e2eWriters, Steps: e2eSteps}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			out, trace, err := stagingRun(&faultline.Schedule{Seed: 0}, v.opts...)
+			if err != nil {
+				t.Fatalf("fault-free %s pipeline: %v", v.name, err)
+			}
+			if len(trace) != 0 {
+				t.Fatalf("fault-free run has a trace: %v", trace)
+			}
+			if out != clean {
+				t.Fatalf("fault-free %s output diverged from raw staging\nraw:\n%s\n%s:\n%s",
+					v.name, clean, v.name, out)
+			}
+			kill, err := faultline.Parse("17:fabric.kill(rank=0,write=3);fabric.kill(rank=1,write=4)")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, trace, err = stagingRun(kill, v.opts...)
+			if err != nil {
+				faultf(t, kill, "%s pipeline failed across reconnects: %v", v.name, err)
+			}
+			if !reflect.DeepEqual(trace, []string{
+				"fabric.kill(rank=0,write=3) x1",
+				"fabric.kill(rank=1,write=4) x1",
+			}) {
+				faultf(t, kill, "kills did not both fire (trace %v) — reconnect not exercised", trace)
+			}
+			if out != clean {
+				faultf(t, kill, "%s output diverged across reconnects\nraw clean:\n%s\nfaulty:\n%s",
+					v.name, clean, out)
+			}
+			for _, sched := range e2eSchedules(t, menu) {
+				sched := sched
+				t.Run(fmt.Sprintf("seed=%d", sched.Seed), func(t *testing.T) {
+					out, _, err := stagingRun(sched, v.opts...)
+					if err != nil {
+						faultf(t, sched, "%s pipeline failed under tolerated faults: %v", v.name, err)
+					}
+					if out != clean {
+						faultf(t, sched, "%s output diverged from raw fault-free run\nclean:\n%s\nfaulty:\n%s",
+							v.name, clean, out)
+					}
+				})
 			}
 		})
 	}

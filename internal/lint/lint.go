@@ -7,9 +7,10 @@
 //     math/rand source, or let map iteration order feed outputs — the
 //     paper's Table 2 / Figure 5 measurements are reproduced bit-identically
 //     only because these packages are pure functions of their inputs.
-//   - ownership: a buffer passed to mpi.SendOwned/SendRecvOwned, or a
-//     framebuffer after Release, belongs to someone else; touching it again
-//     in the same function is a use-after-give.
+//   - ownership: a buffer passed to mpi.SendOwned/SendRecvOwned, a
+//     framebuffer after Release, or a buffer returned to a fabric.BufPool
+//     via Put belongs to someone else; touching it again in the same
+//     function is a use-after-give.
 //   - worker-independence: parallel.For/MapChunks bodies (and their n/grain
 //     chunking arguments) must not depend on the worker count, or results
 //     stop being byte-identical across thread budgets.
@@ -47,11 +48,12 @@ type Config struct {
 	// IOWriterPkgs are the packages where dropped Close/Flush/Write errors
 	// are findings.
 	IOWriterPkgs []string
-	// MPIPkg, RenderPkg, ParallelPkg locate the packages whose contracts
-	// the ownership, tag, and worker rules enforce.
+	// MPIPkg, RenderPkg, ParallelPkg, FabricPkg locate the packages whose
+	// contracts the ownership, tag, and worker rules enforce.
 	MPIPkg      string
 	RenderPkg   string
 	ParallelPkg string
+	FabricPkg   string
 }
 
 // DefaultConfig returns the scoping for the gosensei module itself.
@@ -84,6 +86,7 @@ func DefaultConfig() *Config {
 		MPIPkg:      m + "/internal/mpi",
 		RenderPkg:   m + "/internal/render",
 		ParallelPkg: m + "/internal/parallel",
+		FabricPkg:   m + "/internal/fabric",
 	}
 }
 

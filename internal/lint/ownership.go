@@ -8,23 +8,25 @@ import (
 
 // RuleOwnership flags uses of a buffer after its ownership left the
 // function: a slice passed to mpi.SendOwned/SendRecvOwned belongs to the
-// receiver, and a framebuffer after Release belongs to the pool. Either way
-// the memory may be concurrently overwritten, which corrupts results
-// silently — the exact aliasing class PR 1's pool tests guard dynamically.
+// receiver, a framebuffer after Release belongs to the pool, and a slice
+// handed to fabric's BufPool.Put belongs to the codec pool — the next Get
+// may already be writing over it. Either way the memory may be concurrently
+// overwritten, which corrupts results silently — the exact aliasing class
+// PR 1's pool tests guard dynamically.
 const RuleOwnership = "ownership"
 
 // OwnershipAnalyzer builds the ownership rule.
 func OwnershipAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: RuleOwnership,
-		Doc:  "forbid touching a buffer after mpi.SendOwned/SendRecvOwned or Framebuffer.Release gave it away",
+		Doc:  "forbid touching a buffer after mpi.SendOwned/SendRecvOwned, Framebuffer.Release, or fabric BufPool.Put gave it away",
 		Run:  runOwnership,
 	}
 }
 
 // giveInfo records how and where a variable was given away.
 type giveInfo struct {
-	what string // "mpi.SendOwned", "mpi.SendRecvOwned", or "Release"
+	what string // "mpi.SendOwned", "mpi.SendRecvOwned", "Release", or "BufPool.Put"
 	line int
 }
 
@@ -266,6 +268,11 @@ func (w *ownWalker) expr(e ast.Expr) {
 		}
 		if recv, ok := methodOn(w.pass.Pkg.Info, call, w.pass.Cfg.RenderPkg, "Framebuffer", "Release"); ok {
 			w.give(recv, "Release")
+		}
+		// BufPool.Put gives its ARGUMENT to the pool (the receiver is the
+		// pool itself and stays usable).
+		if _, ok := methodOn(w.pass.Pkg.Info, call, w.pass.Cfg.FabricPkg, "BufPool", "Put"); ok && len(call.Args) == 1 {
+			w.give(call.Args[0], "BufPool.Put")
 		}
 		return true
 	})

@@ -1,8 +1,10 @@
 // Package ownership exercises the use-after-give rule for buffers handed to
-// mpi.SendOwned/SendRecvOwned and framebuffers after Release.
+// mpi.SendOwned/SendRecvOwned, framebuffers after Release, and codec-pool
+// buffers after fabric's BufPool.Put.
 package ownership
 
 import (
+	"gosensei/internal/fabric"
 	"gosensei/internal/mpi"
 	"gosensei/internal/render"
 )
@@ -67,4 +69,36 @@ func ReacquireIsClean(fb *render.Framebuffer) *render.Framebuffer {
 	fb.Release()
 	fb = render.AcquireFramebuffer(8, 8)
 	return fb
+}
+
+// ReadAfterPoolPut reads a buffer the codec pool may already have handed to
+// another connection epoch.
+func ReadAfterPoolPut(p *fabric.BufPool, buf []byte) byte {
+	p.Put(buf)
+	return buf[0] // want ownership
+}
+
+// WriteAfterPoolPut scribbles over a returned buffer — the race that would
+// corrupt another connection's delta reference silently.
+func WriteAfterPoolPut(p *fabric.BufPool, buf []byte) {
+	p.Put(buf[:4])
+	buf[0] = 1 // want ownership
+}
+
+// PoolReacquireIsClean mirrors the codec encoders' grow path: return the
+// small buffer, then rebind from the pool.
+func PoolReacquireIsClean(p *fabric.BufPool, buf []byte) []byte {
+	p.Put(buf)
+	buf = p.Get(64)
+	return buf[:0]
+}
+
+// PoolPutTerminatingBranchIsClean mirrors the connection-teardown paths: the
+// Put happens only on an execution that never reaches the later use.
+func PoolPutTerminatingBranchIsClean(p *fabric.BufPool, buf []byte, dead bool) int {
+	if dead {
+		p.Put(buf)
+		return 0
+	}
+	return len(buf)
 }

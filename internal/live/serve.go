@@ -104,7 +104,7 @@ func (s *Server) serve(conn fabric.Conn) {
 		_ = conn.Close()
 		return
 	}
-	if err := fabric.SendWelcome(conn, fabric.Welcome{Credits: 1}); err != nil {
+	if err := fabric.SendWelcome(conn, fabric.Welcome{Credits: 1}, hello.Version); err != nil {
 		_ = conn.Close()
 		return
 	}
