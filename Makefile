@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet fmt-check lint test bench bench-smoke bench-collectives bench-wire fabric-smoke faultline-smoke fuzz-smoke race cover experiments examples clean
+.PHONY: all check build vet fmt-check lint lint-stats test bench bench-smoke bench-collectives bench-wire fabric-smoke faultline-smoke fuzz-smoke race cover experiments examples clean
 
 all: build vet lint test
 
@@ -19,6 +19,12 @@ fmt-check:
 # The repo-specific invariant suite; see DESIGN.md's invariant catalog.
 lint:
 	$(GO) run ./cmd/gosenseilint -stats
+
+# Per-rule finding/suppression counts as JSON (lint-stats.json, uploaded as
+# a CI artifact): a suppression count drifting up is the early signal that
+# "intentional" blocking-under-lock sites are multiplying.
+lint-stats:
+	$(GO) run ./cmd/gosenseilint -rule-stats | tee lint-stats.json
 
 # -shuffle=on randomizes test order within each package, so accidental
 # order dependencies (shared globals, leaked state) fail loudly.
@@ -81,3 +87,4 @@ examples:
 
 clean:
 	rm -rf frames bp-out cinema-store oscillator-frames phasta-frames leslie-frames nyx-frames live-frames
+	rm -f lint-stats.json

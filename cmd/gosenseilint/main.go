@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gosenseilint [-C dir] [-json] [-stats]
+//	gosenseilint [-C dir] [-json] [-stats] [-rule-stats]
 //
 // Exit status is 0 when the tree is clean, 1 when findings exist, and 2 on
 // driver errors. The same suite runs inside `go test ./internal/lint/...`,
@@ -24,6 +24,7 @@ func main() {
 	dir := flag.String("C", ".", "module directory (or any subdirectory of it)")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
 	stats := flag.Bool("stats", false, "print scan statistics to stderr")
+	ruleStats := flag.Bool("rule-stats", false, "emit a per-rule findings/suppressions JSON summary instead of the findings list")
 	flag.Parse()
 
 	res, err := lint.RunModule(*dir)
@@ -31,9 +32,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gosenseilint: %v\n", err)
 		os.Exit(2)
 	}
-	if *jsonOut {
+	switch {
+	case *ruleStats:
+		// Findings still fail the run; they go to stderr so the stats JSON
+		// stays parseable on stdout.
+		if werr := lint.WriteText(os.Stderr, res.Diagnostics); werr != nil {
+			fmt.Fprintf(os.Stderr, "gosenseilint: %v\n", werr)
+			os.Exit(2)
+		}
+		err = lint.WriteRuleStats(os.Stdout, res)
+	case *jsonOut:
 		err = lint.WriteJSON(os.Stdout, res.Diagnostics)
-	} else {
+	default:
 		err = lint.WriteText(os.Stdout, res.Diagnostics)
 	}
 	if err != nil {

@@ -525,6 +525,7 @@ func (c *Client) writeFrameLocked(typ FrameType, seq uint32, payload []byte) err
 		err = conn.SetWriteDeadline(time.Now().Add(deadline))
 	}
 	if err == nil {
+		//lint:ignore lock-blocking c.wmu is the dedicated write-serialization lock, held here with c.mu RELEASED; the write is deadline-bounded and the recv pump never takes wmu, so a stalled peer cannot reproduce the PR 3 deadlock (DESIGN.md §4.7)
 		_, err = conn.Write(c.wscratch)
 	}
 	c.wmu.Unlock()

@@ -220,6 +220,7 @@ func (h *Hub) serve(conn Conn) {
 	st.mu.Lock()
 	old := st.conn
 	welcome.Released = st.lastReleased
+	//lint:ignore lock-blocking Welcome-before-publish: the Welcome must hit the wire under st.mu or a concurrent releaseUpTo could interleave a Release before it on the fresh connection; bounded by the AcceptHello handshake deadline (DESIGN.md §4.7)
 	if err := SendWelcome(conn, welcome, hello.Version); err != nil {
 		st.mu.Unlock()
 		_ = conn.Close()
@@ -367,6 +368,7 @@ func (st *hubWriter) writeFrame(stats *Stats, typ FrameType, seq uint32, payload
 		st.conn = nil
 		return
 	}
+	//lint:ignore lock-blocking st.mu serializes all writes on this hub-side connection (the Welcome-first invariant depends on that); the write is deadline-bounded (10s) and failure retires the conn rather than blocking (DESIGN.md §4.7)
 	if _, err := st.conn.Write(st.scratch); err != nil {
 		_ = st.conn.Close()
 		st.conn = nil

@@ -64,6 +64,29 @@ func WriteJSON(w io.Writer, ds []Diagnostic) error {
 	return enc.Encode(ds)
 }
 
+// WriteRuleStats prints a per-rule findings/suppressions summary as JSON —
+// the payload behind `gosenseilint -rule-stats` and the `make lint-stats`
+// CI artifact. Rules that never fired are included at zero so the artifact
+// always lists the full suite.
+func WriteRuleStats(w io.Writer, res *Result) error {
+	rules := map[string]RuleCount{}
+	for _, a := range Analyzers() {
+		rules[a.Name] = res.PerRule[a.Name]
+	}
+	for name, rc := range res.PerRule {
+		rules[name] = rc // RuleIgnore and anything else outside Analyzers()
+	}
+	summary := struct {
+		Packages  int                  `json:"packages"`
+		Files     int                  `json:"files"`
+		ElapsedMS int64                `json:"elapsed_ms"`
+		Rules     map[string]RuleCount `json:"rules"` // keys sorted by encoding/json
+	}{res.Packages, res.Files, res.Elapsed.Milliseconds(), rules}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(summary)
+}
+
 // relPosition converts a token position to a module-relative Diagnostic
 // location; paths outside the module root stay absolute.
 func relPosition(root string, pos token.Position) (file string, line, col int) {

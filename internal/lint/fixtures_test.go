@@ -24,6 +24,10 @@ func fixtureConfig(path string) *Config {
 	cfg.DeterministicPkgs = []string{path}
 	cfg.IOWriterPkgs = []string{path}
 	cfg.ClockAllowedFiles = []string{"nondet/timing.go"}
+	// The lockblock fixture declares a writeFrameLocked-style helper that
+	// releases the caller's lock internally; allowlist it the way the real
+	// module config allowlists fabric's.
+	cfg.LockAllowedFuncs = append(cfg.LockAllowedFuncs, path+".unlocksCallerLock")
 	return cfg
 }
 
@@ -78,6 +82,10 @@ func TestFixtures(t *testing.T) {
 		{"unchecked", 0},
 		{"ignore", 2},
 		{"regress", 3},
+		{"lockblock", 1},
+		{"goleak", 0},
+		{"wghygiene", 0},
+		{"deadlockregress", 0},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RuleGoroutineLeak flags goroutine and timer shapes that leak quietly:
+//
+//   - a go-spawned function whose body contains an infinite `for` (or a
+//     range over a channel) with no exit path — no return, no break out of
+//     the loop, no panic/os.Exit — the goroutine outlives every caller and
+//     pins its stack and captures forever (the PR 3 loopback dial hang was
+//     this shape: a redial loop with no done check);
+//   - time.After inside a loop: each iteration allocates a timer that is
+//     only reclaimed when it fires, an unbounded-growth classic in recv
+//     pumps with per-message timeouts (hoist a time.NewTimer and Reset it);
+//   - time.Tick anywhere: the returned ticker can never be stopped;
+//   - time.NewTimer/time.NewTicker whose timer neither reaches a Stop call
+//     nor escapes the function (returned, stored, or passed on — someone
+//     else's responsibility, like mpi's timer pool).
+//
+// All checks are lexical and scoped to one function; a timer stopped by a
+// helper the timer is passed to counts as escaped, not leaked.
+const RuleGoroutineLeak = "goroutine-leak"
+
+// GoroutineLeakAnalyzer builds the goroutine-leak rule.
+func GoroutineLeakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: RuleGoroutineLeak,
+		Doc:  "forbid exit-less goroutine loops, time.After in loops, and unstopped timers/tickers",
+		Run:  runGoroutineLeak,
+	}
+}
+
+func runGoroutineLeak(p *Pass) {
+	// Pass 1: collect spawn targets — function literals directly under `go`,
+	// and declared functions the summary can map back to a body.
+	spawnedLits := map[*ast.FuncLit]bool{}
+	spawnedDecls := map[*ast.FuncDecl]bool{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				spawnedLits[lit] = true
+				return true
+			}
+			if fn := staticCallee(p.Pkg.Info, gs.Call); fn != nil {
+				if decl := p.Facts.Decl(fn); decl != nil {
+					spawnedDecls[decl] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					if spawnedDecls[n] {
+						checkGoroutineLoops(p, n.Body)
+					}
+					checkTimerHygiene(p, n.Body)
+				}
+			case *ast.FuncLit:
+				if spawnedLits[n] {
+					checkGoroutineLoops(p, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	checkTimerCalls(p)
+}
+
+// checkGoroutineLoops reports infinite loops with no exit path in a spawned
+// body. Nested function literals are skipped — if they are themselves
+// spawned they are checked on their own, and otherwise their control flow
+// belongs to whoever calls them.
+func checkGoroutineLoops(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			if loop.Cond == nil && !loopExits(loop.Body) {
+				p.Reportf(loop.Pos(), "goroutine loop has no exit path (no return, break, or terminal call); add a done/closed-channel case or the goroutine leaks for the process lifetime")
+			}
+		case *ast.RangeStmt:
+			if isChanType(p.Pkg.Info, loop.X) && !loopExits(loop.Body) && !isCloseOwnedChan(p, loop.X) {
+				p.Reportf(loop.Pos(), "goroutine ranges over a channel with no exit path and no visible close of %s; if the channel is never closed the goroutine leaks", exprText(loop.X))
+			}
+		}
+		return true
+	})
+}
+
+// isCloseOwnedChan reports whether some non-test file in the package closes
+// the channel expression's root object — a ranged channel that the package
+// itself closes has an exit path the loop body does not show.
+func isCloseOwnedChan(p *Pass, ch ast.Expr) bool {
+	root := rootIdent(ch)
+	var obj types.Object
+	if root != nil {
+		obj = p.Pkg.Info.Uses[root]
+	}
+	closed := false
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if closed {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "close" {
+				return true
+			}
+			if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if obj != nil {
+				if argRoot := rootIdent(call.Args[0]); argRoot != nil && p.Pkg.Info.Uses[argRoot] == obj {
+					closed = true
+				}
+				return true
+			}
+			// Field/selector channels (st.ch) degrade to a textual match.
+			if exprText(call.Args[0]) == exprText(ch) {
+				closed = true
+			}
+			return true
+		})
+	}
+	return closed
+}
+
+// loopExits reports whether a loop body contains a statement that leaves the
+// loop: a return, a break or goto binding to the loop (breaks captured by
+// nested for/switch/select bind tighter and do not count, labeled breaks
+// conservatively do), a panic, or a terminal call like os.Exit.
+func loopExits(body *ast.BlockStmt) bool {
+	exits := false
+	var walk func(n ast.Node, breakable bool) // breakable: an unlabeled break here binds to an inner construct
+	walkStmts := func(list []ast.Stmt, breakable bool) {
+		for _, s := range list {
+			walk(s, breakable)
+		}
+	}
+	walk = func(n ast.Node, breakable bool) {
+		if exits || n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			exits = true
+		case *ast.BranchStmt:
+			switch n.Tok {
+			case token.BREAK:
+				if !breakable || n.Label != nil {
+					exits = true
+				}
+			case token.GOTO:
+				exits = true
+			}
+		case *ast.ExprStmt:
+			if isTerminalCall(n.X) {
+				exits = true
+			}
+		case *ast.ForStmt:
+			walk(n.Init, breakable)
+			walk(n.Post, breakable)
+			walkStmts(n.Body.List, true)
+		case *ast.RangeStmt:
+			walkStmts(n.Body.List, true)
+		case *ast.SwitchStmt:
+			walk(n.Init, breakable)
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body, true)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			walk(n.Init, breakable)
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body, true)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkStmts(cc.Body, true)
+				}
+			}
+		case *ast.IfStmt:
+			walk(n.Init, breakable)
+			walkStmts(n.Body.List, breakable)
+			walk(n.Else, breakable)
+		case *ast.BlockStmt:
+			walkStmts(n.List, breakable)
+		case *ast.LabeledStmt:
+			walk(n.Stmt, breakable)
+		case *ast.FuncLit:
+			// A nested literal's return exits the literal, not the loop.
+		case *ast.GoStmt, *ast.DeferStmt:
+			// Spawned/deferred work cannot exit the loop.
+		}
+	}
+	walkStmts(body.List, false)
+	return exits
+}
+
+// isTerminalCall matches panic(...) and the process-terminating calls that
+// count as loop exits.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			switch id.Name {
+			case "os":
+				return fun.Sel.Name == "Exit"
+			case "runtime":
+				return fun.Sel.Name == "Goexit"
+			case "log":
+				return fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"
+			}
+		}
+	}
+	return false
+}
+
+// checkTimerCalls flags time.After inside loops and time.Tick anywhere.
+func checkTimerCalls(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		var walk func(n ast.Node, inLoop bool)
+		walkList := func(list []ast.Stmt, inLoop bool) {
+			for _, s := range list {
+				walk(s, inLoop)
+			}
+		}
+		walk = func(n ast.Node, inLoop bool) {
+			if n == nil {
+				return
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if name, ok := calleeFromPkg(p.Pkg.Info, call, "time"); ok {
+					switch {
+					case name == "Tick":
+						p.Reportf(call.Pos(), "time.Tick leaks its ticker (no Stop handle); use time.NewTicker with defer t.Stop()")
+					case name == "After" && inLoop:
+						p.Reportf(call.Pos(), "time.After in a loop allocates an unstoppable timer per iteration; hoist a time.NewTimer outside the loop and Reset it")
+					}
+				}
+			}
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				walk(s.Init, inLoop)
+				walk(s.Cond, inLoop)
+				walk(s.Post, inLoop)
+				walkList(s.Body.List, true)
+			case *ast.RangeStmt:
+				walk(s.X, inLoop)
+				walkList(s.Body.List, true)
+			default:
+				// Generic descent preserving inLoop, one level at a time.
+				children := childNodes(n)
+				for _, c := range children {
+					walk(c, inLoop)
+				}
+			}
+		}
+		walk(f, false)
+	}
+}
+
+// childNodes returns the direct AST children of n, so checkTimerCalls can
+// descend one level while keeping explicit control of loop entries.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	depth := 0
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			depth--
+			return true
+		}
+		depth++
+		if depth == 1 {
+			return true // n itself
+		}
+		out = append(out, m)
+		// Skipping children suppresses the pop callback; rebalance here.
+		depth--
+		return false
+	})
+	return out
+}
+
+// checkTimerHygiene flags NewTimer/NewTicker results that are neither
+// stopped nor escape the declaring function.
+func checkTimerHygiene(p *Pass, body *ast.BlockStmt) {
+	type timer struct {
+		obj  types.Object
+		pos  token.Pos
+		kind string
+	}
+	var timers []timer
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := calleeFromPkg(p.Pkg.Info, call, "time")
+		if !ok || (name != "NewTimer" && name != "NewTicker") {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := p.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = p.Pkg.Info.Uses[id]
+		}
+		if obj != nil {
+			timers = append(timers, timer{obj: obj, pos: call.Pos(), kind: "time." + name})
+		}
+		return true
+	})
+	if len(timers) == 0 {
+		return
+	}
+	for _, t := range timers {
+		stopped, escaped := false, false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if stopped || escaped {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || (p.Pkg.Info.Uses[id] != t.obj) {
+				return true
+			}
+			parent := identParent(body, id)
+			if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == id {
+				if sel.Sel.Name == "Stop" {
+					stopped = true
+				}
+				return true // t.C, t.Reset: plain uses
+			}
+			if _, ok := parent.(*ast.AssignStmt); ok {
+				return true // reassignment of the variable itself
+			}
+			// Any other appearance — call argument, return value, composite
+			// literal, field store, channel send — hands the timer to code
+			// this function cannot see; responsibility moved with it.
+			escaped = true
+			return true
+		})
+		if !stopped && !escaped {
+			p.Reportf(t.pos, "%s result is never stopped and never leaves the function; the timer leaks — add defer t.Stop()", t.kind)
+		}
+	}
+}
+
+// identParent finds the immediate parent node of id within root.
+func identParent(root ast.Node, id *ast.Ident) ast.Node {
+	var parent ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if parent != nil || n == nil {
+			return false
+		}
+		for _, c := range childNodes(n) {
+			if c == ast.Node(id) {
+				parent = n
+				return false
+			}
+		}
+		return true
+	})
+	return parent
+}

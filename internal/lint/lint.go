@@ -18,6 +18,13 @@
 //     constants, keeping cross-subsystem tag collisions greppable.
 //   - unchecked-close: the I/O writers the paper's I/O-cost experiments
 //     depend on must not drop Close/Flush/Write errors.
+//   - lock-blocking: no mutex held across an operation the interprocedural
+//     may-block summary (mayblock.go) marks — the staging-client deadlock
+//     class PR 3 debugged at runtime.
+//   - goroutine-leak: spawned loops need a reachable exit; time.After in
+//     loops, time.Tick, and unstopped NewTimer/NewTicker results leak.
+//   - waitgroup-hygiene: wg.Add before `go`, lexical Add/Done arity
+//     agreement, and no sync types passed by value.
 //
 // Findings can be suppressed with `//lint:ignore <rule> <reason>` on the
 // offending line or the line above; a suppression without a reason is
@@ -54,6 +61,13 @@ type Config struct {
 	RenderPkg   string
 	ParallelPkg string
 	FabricPkg   string
+	// LockAllowedFuncs is the per-package allowlist of the lock-blocking
+	// rule: fully-qualified functions (types.Func.FullName form, e.g.
+	// "(*gosensei/internal/fabric.Client).writeFrameLocked") documented to
+	// RELEASE the caller's lock internally before blocking. Calls to them
+	// while holding a lock are not findings; their own bodies are still
+	// analyzed lexically.
+	LockAllowedFuncs []string
 }
 
 // DefaultConfig returns the scoping for the gosensei module itself.
@@ -87,6 +101,12 @@ func DefaultConfig() *Config {
 		RenderPkg:   m + "/internal/render",
 		ParallelPkg: m + "/internal/parallel",
 		FabricPkg:   m + "/internal/fabric",
+		// writeFrameLocked's contract (documented at its declaration) is to
+		// drop c.mu around the blocking conn write and retake it; callers
+		// holding c.mu are the intended use, not the PR 3 deadlock shape.
+		LockAllowedFuncs: []string{
+			"(*" + m + "/internal/fabric.Client).writeFrameLocked",
+		},
 	}
 }
 
@@ -97,14 +117,16 @@ type Analyzer struct {
 	Run  func(p *Pass)
 }
 
-// Pass hands an analyzer one package plus reporting plumbing.
+// Pass hands an analyzer one package plus reporting plumbing and the
+// module-wide interprocedural facts.
 type Pass struct {
-	Fset *token.FileSet
-	Pkg  *Package
-	Cfg  *Config
-	root string // module root for relative paths
-	out  *[]Diagnostic
-	rule string
+	Fset  *token.FileSet
+	Pkg   *Package
+	Cfg   *Config
+	Facts *Facts
+	root  string // module root for relative paths
+	out   *[]Diagnostic
+	rule  string
 }
 
 // Reportf records a finding at pos.
@@ -125,6 +147,9 @@ func Analyzers() []*Analyzer {
 		WorkerIndependenceAnalyzer(),
 		TagHygieneAnalyzer(),
 		UncheckedCloseAnalyzer(),
+		LockBlockingAnalyzer(),
+		GoroutineLeakAnalyzer(),
+		WaitgroupHygieneAnalyzer(),
 	}
 }
 
@@ -134,11 +159,20 @@ type Result struct {
 	Diagnostics []Diagnostic
 	// Suppressed counts findings silenced by a valid //lint:ignore.
 	Suppressed int
+	// PerRule breaks findings and suppressions down by rule name — the
+	// `make lint-stats` CI artifact.
+	PerRule map[string]RuleCount
 	// Files and Packages are scan-volume stats for benchmarking.
 	Files    int
 	Packages int
 	// Elapsed is the wall time of the run (load + analyze).
 	Elapsed time.Duration
+}
+
+// RuleCount is one rule's finding/suppression tally.
+type RuleCount struct {
+	Findings   int `json:"findings"`
+	Suppressed int `json:"suppressed"`
 }
 
 // Run executes the given analyzers over the packages, applying suppressions
@@ -148,7 +182,8 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer, cfg *Config) *Result
 	start := time.Now()
 	var raw []Diagnostic
 	sup := newSuppressionIndex()
-	res := &Result{Packages: len(pkgs)}
+	res := &Result{Packages: len(pkgs), PerRule: map[string]RuleCount{}}
+	facts := ComputeFacts(l, pkgs)
 	for _, pkg := range pkgs {
 		res.Files += len(pkg.Files) + len(pkg.TestFiles)
 		for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
@@ -161,15 +196,20 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer, cfg *Config) *Result
 			}
 		}
 		for _, a := range analyzers {
-			pass := &Pass{Fset: l.Fset, Pkg: pkg, Cfg: cfg, root: l.ModuleRoot, out: &raw, rule: a.Name}
+			pass := &Pass{Fset: l.Fset, Pkg: pkg, Cfg: cfg, Facts: facts, root: l.ModuleRoot, out: &raw, rule: a.Name}
 			a.Run(pass)
 		}
 	}
 	for _, d := range raw {
+		rc := res.PerRule[d.Rule]
 		if d.Rule != RuleIgnore && sup.suppresses(d) {
 			res.Suppressed++
+			rc.Suppressed++
+			res.PerRule[d.Rule] = rc
 			continue
 		}
+		rc.Findings++
+		res.PerRule[d.Rule] = rc
 		res.Diagnostics = append(res.Diagnostics, d)
 	}
 	sortDiagnostics(res.Diagnostics)

@@ -48,6 +48,8 @@ func runNondeterminism(p *Pass) {
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkVariableSleep(p, n)
 			case *ast.SelectorExpr:
 				id, ok := n.X.(*ast.Ident)
 				if !ok {
@@ -68,6 +70,24 @@ func runNondeterminism(p *Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// checkVariableSleep flags time.Sleep with a non-constant duration inside a
+// deterministic kernel package. A constant sleep is already suspect but at
+// least reproducible; a duration computed at runtime (backoff, jitter, a
+// measured elapsed time) couples the kernel's behavior to scheduling and
+// clock state, which is exactly the nondeterminism these packages exclude.
+// ClockAllowedFiles does not exempt this: the metrics layer may read clocks,
+// but nothing in a kernel package should pace itself.
+func checkVariableSleep(p *Pass, call *ast.CallExpr) {
+	name, ok := calleeFromPkg(p.Pkg.Info, call, "time")
+	if !ok || name != "Sleep" || len(call.Args) != 1 {
+		return
+	}
+	tv, ok := p.Pkg.Info.Types[call.Args[0]]
+	if ok && tv.Value == nil {
+		p.Reportf(call.Pos(), "time.Sleep with a non-constant duration in deterministic kernel package %s; runtime-computed pacing makes results depend on the scheduler — delete the sleep or move it out of the kernel", p.Pkg.Path)
 	}
 }
 

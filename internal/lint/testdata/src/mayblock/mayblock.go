@@ -1,0 +1,109 @@
+// Package mayblock is the unit-test fixture for the interprocedural
+// may-block summary (ComputeFacts): one function per seed kind, a
+// transitive chain, the go-spawn exclusion, and both sides of the
+// interface-conservatism boundary. mayblock_test.go asserts the summary's
+// verdict for each exported function by name.
+package mayblock
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// RecvSeed blocks on a channel receive.
+func RecvSeed(ch chan int) int { return <-ch }
+
+// SendSeed blocks on a channel send.
+func SendSeed(ch chan int) { ch <- 1 }
+
+// RangeSeed blocks ranging a channel.
+func RangeSeed(ch chan int) (sum int) {
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+// SelectSeed blocks: no default clause.
+func SelectSeed(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// SelectDefaultClean polls: the default clause makes it non-blocking.
+func SelectDefaultClean(a chan int) bool {
+	select {
+	case <-a:
+		return true
+	default:
+		return false
+	}
+}
+
+// SleepSeed blocks in time.Sleep.
+func SleepSeed() { time.Sleep(time.Millisecond) }
+
+// CondWaitSeed blocks in sync.Cond.Wait (a seed for callers, though exempt
+// from the under-lock check).
+func CondWaitSeed(c *sync.Cond) { c.Wait() }
+
+// WaitGroupSeed blocks in sync.WaitGroup.Wait.
+func WaitGroupSeed(wg *sync.WaitGroup) { wg.Wait() }
+
+// NetWriteSeed blocks in a net.Conn write.
+func NetWriteSeed(c net.Conn, p []byte) error {
+	_, err := c.Write(p)
+	return err
+}
+
+// Transitive1 blocks only through RecvSeed.
+func Transitive1(ch chan int) int { return RecvSeed(ch) }
+
+// Transitive2 blocks two hops down.
+func Transitive2(ch chan int) int { return Transitive1(ch) }
+
+// SpawnOnly spawns the blocking call; the spawner itself returns at once.
+func SpawnOnly(ch chan int) { go RecvSeed(ch) }
+
+// SpawnLitOnly spawns a literal containing the blocking op; same verdict.
+func SpawnLitOnly(ch chan int) {
+	go func() { <-ch }()
+}
+
+// ByteSource is a non-conn-like interface: no LocalAddr, no Accept. Calls
+// through it are assumed non-blocking — the documented noise boundary.
+type ByteSource interface {
+	Read(p []byte) (int, error)
+}
+
+// IfaceNonConnClean reads through the non-conn-like interface.
+func IfaceNonConnClean(r ByteSource, p []byte) int {
+	n, _ := r.Read(p)
+	return n
+}
+
+// ConnLike mirrors the fabric Conn shape: its method set carries LocalAddr,
+// so Read/Write through it are assumed blocking.
+type ConnLike interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	LocalAddr() net.Addr
+}
+
+// IfaceConnLikeSeed writes through the conn-like interface.
+func IfaceConnLikeSeed(c ConnLike, p []byte) error {
+	_, err := c.Write(p)
+	return err
+}
+
+// FuncVarClean calls a function-typed variable; indirect calls without a
+// static callee are assumed non-blocking.
+func FuncVarClean(f func()) { f() }
+
+// Pure touches nothing concurrent.
+func Pure(x int) int { return 2 * x }

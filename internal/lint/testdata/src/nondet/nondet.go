@@ -76,3 +76,16 @@ func Histogram(m map[int]int, out []int) {
 		out[k] = v
 	}
 }
+
+// Backoff paces itself off a runtime-computed duration: the kernel's
+// behavior now depends on the scheduler and the measured value, not just
+// its inputs.
+func Backoff(attempt int) {
+	time.Sleep(time.Duration(attempt) * time.Millisecond) // want nondeterminism
+}
+
+// FixedPause sleeps a compile-time constant: suspect in a kernel, but at
+// least reproducible, and not this rule's business.
+func FixedPause() {
+	time.Sleep(time.Millisecond)
+}

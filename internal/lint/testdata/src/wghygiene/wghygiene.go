@@ -1,0 +1,142 @@
+// Package wghygiene is the golden fixture for the waitgroup-hygiene rule:
+// wg.Add inside the spawned goroutine (racing the spawner's Wait), lexical
+// Add/Done arity mismatches, and sync state passed by value. The clean
+// functions pin the exemptions: Add-before-go, waitgroups local to the
+// goroutine, runtime-sized Adds, and waitgroups handed to helpers.
+package wghygiene
+
+import "sync"
+
+// ByValueWaitGroup copies the counter; the caller Waits on an original the
+// callee never Dones.
+func ByValueWaitGroup(wg sync.WaitGroup) { // want waitgroup-hygiene
+	wg.Done()
+}
+
+// ByValueMutex locks a private copy; the caller's original stays unlocked.
+func ByValueMutex(mu sync.Mutex) { // want waitgroup-hygiene
+	mu.Lock()
+	mu.Unlock()
+}
+
+// ReturnsOnce copies the Once out; Do on the copy re-runs.
+func ReturnsOnce() sync.Once { // want waitgroup-hygiene
+	var o sync.Once
+	return o
+}
+
+// PointerParam is the correct shape.
+func PointerParam(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// AddInsideGoroutine: the spawner's Wait can observe a zero counter before
+// any goroutine is scheduled and return while work is still in flight.
+func AddInsideGoroutine(n int, ch chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want waitgroup-hygiene
+			defer wg.Done()
+			<-ch
+		}()
+	}
+	wg.Wait()
+}
+
+// Pool pins the field-receiver variant: p.wg outlives every literal.
+type Pool struct{ wg sync.WaitGroup }
+
+// Spawn adds from inside the goroutine on a struct-held waitgroup.
+func (p *Pool) Spawn(ch chan int) {
+	go func() {
+		p.wg.Add(1) // want waitgroup-hygiene
+		defer p.wg.Done()
+		<-ch
+	}()
+}
+
+// LocalToGoroutine: the waitgroup is declared inside the literal, so its
+// Add races nothing outside.
+func LocalToGoroutine(jobs []func()) {
+	go func() {
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(fn func()) {
+				defer wg.Done()
+				fn()
+			}(j)
+		}
+		wg.Wait()
+	}()
+}
+
+// AddTwoDoneOnce: Wait hangs on the never-Done remainder.
+func AddTwoDoneOnce(ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(2) // want waitgroup-hygiene
+	go func() {
+		defer wg.Done()
+		<-ch
+	}()
+	wg.Wait()
+}
+
+// DoneWithoutAdd has more Dones than Adds: the counter goes negative and
+// Done panics.
+func DoneWithoutAdd(ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1) // want waitgroup-hygiene
+	go func() {
+		defer wg.Done()
+		<-ch
+	}()
+	go func() {
+		defer wg.Done()
+		<-ch
+	}()
+	wg.Wait()
+}
+
+// AddMatchesDone is balanced.
+func AddMatchesDone(ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ch
+	}()
+	wg.Wait()
+}
+
+// RuntimeSizedAdd: the count is not lexically decidable, so the rule stays
+// quiet.
+func RuntimeSizedAdd(n int, ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			<-ch
+		}()
+	}
+	wg.Wait()
+}
+
+// helperDone receives the waitgroup, so arity moved out of the caller's
+// sight.
+func helperDone(wg *sync.WaitGroup) { wg.Done() }
+
+// EscapedToHelper hands the waitgroup to a helper; the lexical count no
+// longer covers every Done and the rule stays quiet.
+func EscapedToHelper(ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		<-ch
+	}()
+	go helperDone(&wg)
+	wg.Wait()
+}

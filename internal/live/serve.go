@@ -122,6 +122,7 @@ func (s *Server) serve(conn fabric.Conn) {
 		if err := conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
 			return err
 		}
+		//lint:ignore lock-blocking wmu exists only to serialize this deadline-bounded write between the frame pusher and heartbeat acks; no state lives under it, so a slow viewer stalls at most the other writer for 10s (DESIGN.md §4.7)
 		if _, err := conn.Write(scratch); err != nil {
 			return err
 		}
@@ -174,9 +175,16 @@ func (s *Server) serve(conn fabric.Conn) {
 type Viewer struct {
 	conn fabric.Conn
 
-	mu      sync.Mutex
+	// mu guards closed only. Steer must NOT write the conn under mu: a
+	// stalled peer would then hold the state lock for the whole (deadline-
+	// bounded) write, blocking Close — the PR 3 deadlock shape the
+	// lock-blocking lint rule pins. Writes serialize on the dedicated wmu
+	// instead, which nothing else waits on.
+	mu     sync.Mutex
+	closed bool
+
+	wmu     sync.Mutex
 	scratch []byte
-	closed  bool
 
 	frames chan Frame
 }
@@ -204,15 +212,21 @@ func (v *Viewer) Frames() <-chan Frame { return v.frames }
 // Steer sends one steering command to the simulation.
 func (v *Viewer) Steer(name string, value float64) error {
 	v.mu.Lock()
-	defer v.mu.Unlock()
 	if v.closed {
+		v.mu.Unlock()
 		return fmt.Errorf("live: viewer closed")
 	}
+	v.mu.Unlock()
+	v.wmu.Lock()
+	defer v.wmu.Unlock()
 	v.scratch = fabric.AppendFrame(v.scratch[:0], fabric.FrameSteer, 0,
 		fabric.AppendSteerPayload(nil, name, value))
 	if err := v.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
 		return err
 	}
+	// A concurrent Close between the check above and here just makes this
+	// write fail with ErrClosed, which is the correct answer for the caller.
+	//lint:ignore lock-blocking v.wmu is the dedicated write-serialization lock; the write is deadline-bounded (10s) and Close never takes wmu, so a stalled peer cannot wedge the viewer (DESIGN.md §4.7)
 	_, err := v.conn.Write(v.scratch)
 	return err
 }
