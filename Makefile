@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build vet fmt-check lint lint-stats test bench bench-smoke bench-collectives bench-wire fabric-smoke faultline-smoke fuzz-smoke race cover experiments examples clean
+.PHONY: all check build vet fmt-check lint lint-stats test bench bench-smoke bench-collectives bench-wire bench-world fabric-smoke faultline-smoke fuzz-smoke world-smoke race cover experiments examples clean
 
 all: build vet lint test
 
-check: build vet fmt-check lint test race bench-smoke bench-collectives bench-wire fabric-smoke faultline-smoke fuzz-smoke
+check: build vet fmt-check lint test race bench-smoke bench-collectives bench-wire fabric-smoke faultline-smoke fuzz-smoke world-smoke
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,21 @@ bench-collectives:
 bench-wire:
 	$(GO) test -run XXX -bench 'BenchmarkWireStaging' -benchtime=1x ./internal/adios/
 	$(GO) test -run XXX -bench 'BenchmarkBPEncode|BenchmarkBPDecode' -benchtime=1x -benchmem ./internal/adios/
+
+# One iteration of the cross-transport collective latency sweep (BENCH_8.json
+# pins the stable-timing numbers): the same collectives over the in-process
+# transport, loopback world meshes, and real TCP sockets at P in {2,4,8}.
+bench-world:
+	$(GO) test -run XXX -bench 'BenchmarkWorld' -benchtime=1x ./internal/world/
+
+# The multi-process deployment end to end: gosensei-run spawns N single-rank
+# OS processes over TCP (and N goroutine ranks over loopback), runs the
+# oscillator->histogram and binary-swap pipelines, and both must produce
+# stdout bit-identical to the in-process run; the rankkill leg kills a rank
+# mid-pipeline and requires exit code 3 plus a replayable fault token.
+world-smoke:
+	$(GO) test -race -count=1 ./internal/world/
+	$(GO) test -count=1 -run 'TestWorldSmoke' .
 
 # The wire end to end under the race detector: staging fan-in, backpressure,
 # endpoint restart, and the two-OS-process TCP deployment.

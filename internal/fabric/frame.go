@@ -49,14 +49,23 @@ const (
 	FrameSteer
 	FrameHeartbeat
 	FrameHeartbeatAck
+	// FrameEnvelope carries one mpi point-to-point message between ranks of
+	// a cross-process world (internal/world); the payload is an
+	// mpi.Envelope.
+	FrameEnvelope
+	// FrameWorldInfo is the registry's address book: after every rank of a
+	// world has registered, each receives the full rank -> listener-address
+	// table and meshes up directly.
+	FrameWorldInfo
 
-	frameTypeMax = FrameHeartbeatAck
+	frameTypeMax = FrameWorldInfo
 )
 
 // String implements fmt.Stringer for diagnostics.
 func (t FrameType) String() string {
 	names := [...]string{"invalid", "hello", "welcome", "data", "eos", "advance",
-		"advance-ack", "release", "steer", "heartbeat", "heartbeat-ack"}
+		"advance-ack", "release", "steer", "heartbeat", "heartbeat-ack",
+		"envelope", "world-info"}
 	if int(t) < len(names) {
 		return names[t]
 	}

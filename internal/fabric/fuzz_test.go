@@ -24,6 +24,17 @@ func FuzzFrameDecode(f *testing.F) {
 	huge := AppendFrame(nil, FrameData, 5, nil)
 	huge[0], huge[1], huge[2], huge[3] = 0xFF, 0xFF, 0xFF, 0xFF
 	f.Add(huge)
+	// Version-3 handshake payloads: a world-membership hello (with peer
+	// address), one whose claimed address length disagrees with the
+	// payload, and a welcome carrying the world tail.
+	v3 := appendHello(nil, Hello{Version: ProtocolVersion, Role: RoleRank, Rank: 2,
+		WorldID: 77001, WorldEpoch: 2, WorldSize: 4, PeerAddr: "127.0.0.1:4001"})
+	f.Add(AppendFrame(nil, FrameHello, 6, v3))
+	badAddr := append([]byte(nil), v3...)
+	badAddr[45], badAddr[46] = 0xFF, 0x7F // addr length 32767 >> actual
+	f.Add(AppendFrame(nil, FrameHello, 7, badAddr))
+	f.Add(AppendFrame(nil, FrameWelcome, 8, appendWelcome(nil,
+		Welcome{Version: ProtocolVersion, WorldID: 77001, WorldEpoch: 2, PeerRank: 2})))
 
 	const maxPayload = 1 << 16
 	f.Fuzz(func(t *testing.T, stream []byte) {

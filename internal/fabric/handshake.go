@@ -19,7 +19,15 @@ import (
 // acceptor-driven: a current dialer talking to a genuinely old acceptor is
 // refused (the old acceptor rejects the longer Hello), while a current
 // acceptor welcomes an old dialer at version-1 semantics.
-const ProtocolVersion = 2
+//
+// Version 3 (PR 8) extends the exchange with cross-process MPI world
+// membership: the Hello carries the world identity a RoleRank peer is
+// joining (world id, epoch, size) plus the peer's own listener address for
+// the mesh, and the Welcome echoes the world identity with the rank the
+// registry assigned. Older peers keep working under the same acceptor-driven
+// rule: a v1/v2 dialer's shorter Hello decodes to "no world" and is answered
+// with the payload shape (and echoed version) it can parse.
+const ProtocolVersion = 3
 
 // minProtocolVersion is the oldest peer version still accepted.
 const minProtocolVersion = 1
@@ -28,10 +36,13 @@ const minProtocolVersion = 1
 type Role uint8
 
 // The peer roles. Writers stage steps under credit flow control; viewers
-// attach to a live hub for frames and steering.
+// attach to a live hub for frames and steering; ranks are members of a
+// cross-process MPI world registering with its registry or meshing with a
+// peer rank (internal/world).
 const (
 	RoleWriter Role = 1
 	RoleViewer Role = 2
+	RoleRank   Role = 3
 )
 
 // Hello flag bits.
@@ -79,6 +90,15 @@ type Hello struct {
 	Codecs uint32
 	// Flags carries Hello* capability bits.
 	Flags uint32
+	// The version-3 world-membership fields, meaningful for RoleRank peers
+	// (zero otherwise): the identity of the world being joined — id, epoch
+	// (incremented per relaunch so stragglers from a previous incarnation
+	// are refused), and expected size — plus the dialer's own listener
+	// address, which the registry redistributes so ranks can mesh directly.
+	WorldID    uint64
+	WorldEpoch uint32
+	WorldSize  uint32
+	PeerAddr   string
 }
 
 // Welcome is the acceptor's half: the credit grant, the highest sequence
@@ -93,19 +113,29 @@ type Welcome struct {
 	Released uint32
 	Codec    uint8
 	Extract  ExtractSpec
+	// The version-3 world-membership answer for RoleRank peers: the world
+	// identity echoed back and the rank the registry confirmed. Zero for
+	// staging/viewer handshakes.
+	WorldID    uint64
+	WorldEpoch uint32
+	PeerRank   uint32
 }
 
 const (
-	helloV1Len   = 4 + 1 + 4 + 4 + 4 + 4
-	helloV2Len   = helloV1Len + 4 + 4
+	helloV1Len = 4 + 1 + 4 + 4 + 4 + 4
+	helloV2Len = helloV1Len + 4 + 4
+	// helloV3Len is the fixed prefix; the peer listener address follows.
+	helloV3Len   = helloV2Len + 8 + 4 + 4 + 2
 	welcomeV1Len = 4 + 4 + 4
 	// welcomeV2Len is the fixed prefix; the extract array name follows.
 	welcomeV2Len = welcomeV1Len + 1 + 1 + 1 + 4 + 4 + 8 + 2
+	// welcomeV3Tail is the world-membership suffix after the array name.
+	welcomeV3Tail = 8 + 4 + 4
 )
 
 // appendHello encodes a Hello payload (current version).
 func appendHello(dst []byte, h Hello) []byte {
-	var b [helloV2Len]byte
+	var b [helloV3Len]byte
 	le := binary.LittleEndian
 	le.PutUint32(b[0:4], h.Version)
 	b[4] = byte(h.Role)
@@ -115,14 +145,19 @@ func appendHello(dst []byte, h Hello) []byte {
 	le.PutUint32(b[17:21], h.Depth)
 	le.PutUint32(b[21:25], h.Codecs)
 	le.PutUint32(b[25:29], h.Flags)
-	return append(dst, b[:]...)
+	le.PutUint64(b[29:37], h.WorldID)
+	le.PutUint32(b[37:41], h.WorldEpoch)
+	le.PutUint32(b[41:45], h.WorldSize)
+	le.PutUint16(b[45:47], uint16(len(h.PeerAddr)))
+	dst = append(dst, b[:]...)
+	return append(dst, h.PeerAddr...)
 }
 
-// decodeHello reverses appendHello, tolerating the version-1 length (whose
-// missing fields decode to raw-only, no capabilities).
+// decodeHello reverses appendHello, tolerating the version-1 and version-2
+// lengths (whose missing fields decode to raw-only / no world membership).
 func decodeHello(p []byte) (Hello, error) {
-	if len(p) != helloV1Len && len(p) != helloV2Len {
-		return Hello{}, fmt.Errorf("fabric: hello payload %d bytes, want %d or %d", len(p), helloV1Len, helloV2Len)
+	if len(p) != helloV1Len && len(p) != helloV2Len && len(p) < helloV3Len {
+		return Hello{}, fmt.Errorf("fabric: hello payload %d bytes, want %d, %d, or >= %d", len(p), helloV1Len, helloV2Len, helloV3Len)
 	}
 	le := binary.LittleEndian
 	h := Hello{
@@ -134,15 +169,26 @@ func decodeHello(p []byte) (Hello, error) {
 		Depth:   le.Uint32(p[17:21]),
 		Codecs:  1 << CodecRaw,
 	}
-	if len(p) == helloV2Len {
+	if len(p) >= helloV2Len {
 		h.Codecs = le.Uint32(p[21:25])
 		h.Flags = le.Uint32(p[25:29])
+	}
+	if len(p) >= helloV3Len {
+		h.WorldID = le.Uint64(p[29:37])
+		h.WorldEpoch = le.Uint32(p[37:41])
+		h.WorldSize = le.Uint32(p[41:45])
+		addrLen := int(le.Uint16(p[45:47]))
+		if len(p) != helloV3Len+addrLen {
+			return Hello{}, fmt.Errorf("fabric: hello payload %d bytes, want %d for %d-byte peer address", len(p), helloV3Len+addrLen, addrLen)
+		}
+		h.PeerAddr = string(p[helloV3Len : helloV3Len+addrLen])
 	}
 	return h, nil
 }
 
-// appendWelcome encodes a Welcome payload (current version).
-func appendWelcome(dst []byte, w Welcome) []byte {
+// appendWelcomeV2 encodes the version-2 Welcome shape: fixed prefix plus
+// extract array name, no world membership.
+func appendWelcomeV2(dst []byte, w Welcome) []byte {
 	var b [welcomeV2Len]byte
 	le := binary.LittleEndian
 	le.PutUint32(b[0:4], w.Version)
@@ -159,8 +205,21 @@ func appendWelcome(dst []byte, w Welcome) []byte {
 	return append(dst, w.Extract.Array...)
 }
 
+// appendWelcome encodes a Welcome payload (current version): the v2 shape
+// with the world-membership tail.
+func appendWelcome(dst []byte, w Welcome) []byte {
+	dst = appendWelcomeV2(dst, w)
+	var b [welcomeV3Tail]byte
+	le := binary.LittleEndian
+	le.PutUint64(b[0:8], w.WorldID)
+	le.PutUint32(b[8:12], w.WorldEpoch)
+	le.PutUint32(b[12:16], w.PeerRank)
+	return append(dst, b[:]...)
+}
+
 // decodeWelcome reverses appendWelcome, tolerating the version-1 length
-// (which decodes to raw, no extract).
+// (which decodes to raw, no extract) and the version-2 length (no world
+// membership).
 func decodeWelcome(p []byte) (Welcome, error) {
 	le := binary.LittleEndian
 	if len(p) == welcomeV1Len {
@@ -175,10 +234,10 @@ func decodeWelcome(p []byte) (Welcome, error) {
 		return Welcome{}, fmt.Errorf("fabric: welcome payload %d bytes, want %d or >= %d", len(p), welcomeV1Len, welcomeV2Len)
 	}
 	nameLen := int(le.Uint16(p[31:33]))
-	if len(p) != welcomeV2Len+nameLen {
-		return Welcome{}, fmt.Errorf("fabric: welcome payload %d bytes, want %d for %d-byte extract array", len(p), welcomeV2Len+nameLen, nameLen)
+	if len(p) != welcomeV2Len+nameLen && len(p) != welcomeV2Len+nameLen+welcomeV3Tail {
+		return Welcome{}, fmt.Errorf("fabric: welcome payload %d bytes, want %d or %d for %d-byte extract array", len(p), welcomeV2Len+nameLen, welcomeV2Len+nameLen+welcomeV3Tail, nameLen)
 	}
-	return Welcome{
+	w := Welcome{
 		Version:  le.Uint32(p[0:4]),
 		Credits:  le.Uint32(p[4:8]),
 		Released: le.Uint32(p[8:12]),
@@ -191,7 +250,14 @@ func decodeWelcome(p []byte) (Welcome, error) {
 			Coord: math.Float64frombits(le.Uint64(p[23:31])),
 			Array: string(p[33 : 33+nameLen]),
 		},
-	}, nil
+	}
+	if len(p) == welcomeV2Len+nameLen+welcomeV3Tail {
+		tail := p[welcomeV2Len+nameLen:]
+		w.WorldID = le.Uint64(tail[0:8])
+		w.WorldEpoch = le.Uint32(tail[8:12])
+		w.PeerRank = le.Uint32(tail[12:16])
+	}
+	return w, nil
 }
 
 // versionAccepted reports whether a peer's protocol version is one this
@@ -268,13 +334,16 @@ func AcceptHello(c Conn) (Hello, *FrameReader, error) {
 
 // SendWelcome completes the server half of the handshake and clears the
 // handshake deadline. The Version field is filled in; peerVersion is the
-// dialer's Hello version, so a version-1 dialer receives the short payload
-// it can parse (necessarily raw / no extract — negotiation requires both
-// halves at version 2).
+// dialer's Hello version, so an older dialer receives the payload shape —
+// and the echoed version — it can parse: version 1 gets the short
+// credits-only payload (necessarily raw / no extract), version 2 the
+// codec/extract payload without the world tail (necessarily no world
+// membership — joining a world requires both halves at version 3).
 func SendWelcome(c Conn, w Welcome, peerVersion uint32) error {
 	w.Version = ProtocolVersion
 	var payload []byte
-	if peerVersion < 2 {
+	switch {
+	case peerVersion < 2:
 		w.Version = peerVersion // a v1 dialer rejects any other version
 		var b [welcomeV1Len]byte
 		le := binary.LittleEndian
@@ -282,7 +351,10 @@ func SendWelcome(c Conn, w Welcome, peerVersion uint32) error {
 		le.PutUint32(b[4:8], w.Credits)
 		le.PutUint32(b[8:12], w.Released)
 		payload = b[:]
-	} else {
+	case peerVersion < 3:
+		w.Version = peerVersion // a v2 dialer rejects version 3
+		payload = appendWelcomeV2(nil, w)
+	default:
 		payload = appendWelcome(nil, w)
 	}
 	frame := AppendFrame(nil, FrameWelcome, 0, payload)

@@ -1,6 +1,7 @@
 // Package faultline is a seeded, schedule-driven fault injector for the
-// repo's three substrates: the in-process MPI runtime (internal/mpi), the
-// staging wire (internal/fabric), and the file-I/O model (internal/iosim).
+// repo's four substrates: the in-process MPI runtime (internal/mpi), the
+// staging wire (internal/fabric), the file-I/O model (internal/iosim), and
+// the cross-process world layer (internal/world).
 //
 // The discipline is deterministic-simulation testing in the Jepsen /
 // FoundationDB tradition: every fault a run experiences is named by a
@@ -21,11 +22,13 @@
 // in the substrates are nil-checked pointers: a world, connection, or writer
 // with no injector configured takes the exact pre-faultline code path.
 //
-// Tolerated vs fatal: every fault kind except mpi.crash is tolerated by
-// contract — the stack must produce bit-identical analysis results under it
-// (the metamorphic property the end-to-end suite asserts). mpi.crash is
-// fatal by contract: the run must fail, but it must fail identically on
-// every replay.
+// Tolerated vs fatal: every fault kind except mpi.crash and world.rankkill
+// is tolerated by contract — the stack must produce bit-identical analysis
+// results under it (the metamorphic property the end-to-end suite asserts).
+// mpi.crash and world.rankkill are fatal by contract: the run must fail, but
+// it must fail identically on every replay — rankkill is the cross-process
+// twin of crash, killing a whole rank process (no EOS, connections torn down
+// mid-protocol) so peers exercise the death-detection path.
 package faultline
 
 import (
@@ -55,6 +58,11 @@ var kindArgs = map[string][]string{
 	"fabric.hsdrop":    {"rank", "dial"},       // the dial-th handshake is dropped
 	"fabric.blackout":  {"rank", "read", "ms"}, // the read-th read stalls for ms
 
+	// world: cross-process rank faults, indexed by the rank's 1-based wire
+	// send count (sends to a rank's own mailbox stay local and do not
+	// count, so op indices are transport-level and replayable).
+	"world.rankkill": {"rank", "op"}, // rank dies at its op-th wire send (FATAL)
+
 	// io: per-rank block-file faults, indexed by cumulative attempt
 	// counters (retries count as attempts).
 	"io.enospc":    {"rank", "op", "n"},  // n consecutive write attempts fail like a full OST
@@ -74,7 +82,9 @@ func (f Fault) Name() string { return f.Domain + "." + f.Kind }
 
 // Fatal reports whether the fault is fatal by contract: the run is expected
 // to fail (deterministically) rather than tolerate it.
-func (f Fault) Fatal() bool { return f.Name() == "mpi.crash" }
+func (f Fault) Fatal() bool {
+	return f.Name() == "mpi.crash" || f.Name() == "world.rankkill"
+}
 
 // arg returns the named argument; it panics on an unknown name, which is a
 // programming error (Parse validates every fault against kindArgs).
@@ -206,9 +216,9 @@ type Menu struct {
 }
 
 // Generate draws a seeded, tolerated-only schedule from the menu: same seed
-// and menu, same schedule, on every platform. Fatal kinds (mpi.crash) are
-// never generated — they are for hand-written schedules that assert
-// deterministic failure.
+// and menu, same schedule, on every platform. Fatal kinds (mpi.crash,
+// world.rankkill) are never generated — they are for hand-written schedules
+// that assert deterministic failure.
 func Generate(seed int64, m Menu) *Schedule {
 	if m.Ranks < 2 || m.Steps < 1 {
 		panic(fmt.Sprintf("faultline: menu needs ranks>=2 and steps>=1, got ranks=%d steps=%d", m.Ranks, m.Steps))

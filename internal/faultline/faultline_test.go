@@ -80,7 +80,7 @@ func TestGenerateCoversEveryEnabledKind(t *testing.T) {
 		}
 	}
 	for kind := range kindArgs {
-		if kind == "mpi.crash" {
+		if kind == "mpi.crash" || kind == "world.rankkill" {
 			if seen[kind] {
 				t.Fatalf("generator produced the fatal kind %s", kind)
 			}
@@ -130,9 +130,53 @@ func TestRunPlansNilWhenDomainEmpty(t *testing.T) {
 	if r.FabricPlan() != nil || r.IOPlan() != nil {
 		t.Error("fabric/io plans must be nil when the schedule has no such faults")
 	}
+	if r.NewWorldPlan() != nil {
+		t.Error("world plan must be nil when the schedule has no world faults")
+	}
 	var nilRun *Run
-	if nilRun.NewMPIPlan() != nil || nilRun.FabricPlan() != nil || nilRun.IOPlan() != nil || nilRun.TraceLines() != nil {
+	if nilRun.NewMPIPlan() != nil || nilRun.FabricPlan() != nil || nilRun.IOPlan() != nil ||
+		nilRun.NewWorldPlan() != nil || nilRun.TraceLines() != nil {
 		t.Error("nil *Run accessors must all return nil")
+	}
+}
+
+func TestWorldPlanRankkill(t *testing.T) {
+	s, err := Parse("9:world.rankkill(rank=1,op=3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Fatal() {
+		t.Error("world.rankkill schedule must classify as fatal")
+	}
+	r := s.Start()
+	p := r.NewWorldPlan()
+	if p == nil {
+		t.Fatal("world plan missing for a world schedule")
+	}
+	// Other ranks' sends never fire, and the victim's counter is 1-based:
+	// ops 1 and 2 survive, op 3 kills.
+	for i := 0; i < 10; i++ {
+		if token, kill := p.BeforeSend(0); kill || token != "" {
+			t.Fatalf("rank 0 send %d: unexpected kill %q", i+1, token)
+		}
+	}
+	for op := 1; op <= 2; op++ {
+		if _, kill := p.BeforeSend(1); kill {
+			t.Fatalf("rank 1 op %d: killed early", op)
+		}
+	}
+	token, kill := p.BeforeSend(1)
+	if !kill || token != "world.rankkill(rank=1,op=3)" {
+		t.Fatalf("rank 1 op 3: kill=%v token=%q", kill, token)
+	}
+	lines := r.TraceLines()
+	if len(lines) != 1 || lines[0] != "world.rankkill(rank=1,op=3) x1" {
+		t.Errorf("trace: %v", lines)
+	}
+	// A nil plan (fault-free baseline) is inert.
+	var nilPlan *WorldPlan
+	if token, kill := nilPlan.BeforeSend(1); kill || token != "" {
+		t.Error("nil world plan must be inert")
 	}
 }
 

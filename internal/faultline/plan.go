@@ -48,6 +48,7 @@ type Run struct {
 	mpiFaults    []Fault
 	fabricFaults []Fault
 	ioFaults     []Fault
+	worldFaults  []Fault
 
 	fabric *FabricPlan
 	io     *IOPlan
@@ -64,6 +65,8 @@ func (s *Schedule) Start() *Run {
 			r.fabricFaults = append(r.fabricFaults, f)
 		case "io":
 			r.ioFaults = append(r.ioFaults, f)
+		case "world":
+			r.worldFaults = append(r.worldFaults, f)
 		}
 	}
 	if len(r.fabricFaults) > 0 {
@@ -88,6 +91,17 @@ func (r *Run) NewMPIPlan() *MPIPlan {
 		edges:  map[[2]int]uint64{},
 		ops:    map[int]uint64{},
 	}
+}
+
+// NewWorldPlan returns a fresh world plan, or nil when the schedule carries
+// no world faults (or r is nil). Like MPI plans it is per-world: the send
+// counters restart with each world incarnation, so a relaunch replays the
+// same schedule from op 1. The returned plan implements world.FaultHook.
+func (r *Run) NewWorldPlan() *WorldPlan {
+	if r == nil || len(r.worldFaults) == 0 {
+		return nil
+	}
+	return &WorldPlan{faults: r.worldFaults, trace: r.trace, ops: map[int]uint64{}}
 }
 
 // FabricPlan returns the run's fabric plan (nil when the schedule carries no
@@ -174,6 +188,39 @@ func (p *MPIPlan) BeforeSend(src, dst, tag int) mpi.SendFault {
 	}
 	p.mu.Unlock()
 	return out
+}
+
+// WorldPlan implements world.FaultHook for one cross-process world. Kills
+// are indexed by the 1-based wire-send count of a rank — a transport-level
+// counter that matches across in-process (loopback) and N-process (tcp)
+// launches of the same pipeline, so a schedule reproduced under `go test`
+// fires at the same logical point inside a real worker process.
+type WorldPlan struct {
+	faults []Fault
+	trace  *Trace
+
+	mu  sync.Mutex
+	ops map[int]uint64 // world rank -> wire sends
+}
+
+// BeforeSend implements world.FaultHook: it observes the rank's next wire
+// send and returns the fired fault's repro token and true when the rank must
+// die now.
+func (p *WorldPlan) BeforeSend(rank int) (string, bool) {
+	if p == nil {
+		return "", false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ops[rank]++
+	op := p.ops[rank]
+	for _, f := range p.faults {
+		if f.Kind == "rankkill" && f.arg("rank") == rank && uint64(f.arg("op")) == op {
+			p.trace.hit(f)
+			return f.String(), true
+		}
+	}
+	return "", false
 }
 
 // IOPlan implements iosim.FaultInjector. Faults are indexed by cumulative

@@ -83,6 +83,7 @@ func TestFixtures(t *testing.T) {
 		{"ignore", 2},
 		{"regress", 3},
 		{"lockblock", 1},
+		{"blockseed", 0},
 		{"goleak", 0},
 		{"wghygiene", 0},
 		{"deadlockregress", 0},

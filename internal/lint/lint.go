@@ -68,6 +68,14 @@ type Config struct {
 	// while holding a lock are not findings; their own bodies are still
 	// analyzed lexically.
 	LockAllowedFuncs []string
+	// BlockingFuncs are extra may-block seeds (types.Func.FullName form,
+	// e.g. "(gosensei/internal/mpi.Transport).Send"): calls to them are
+	// treated as blocking by the interprocedural summary even when they
+	// resolve through interface dispatch, which the conn-like heuristic
+	// alone cannot see. This is how contract interfaces whose
+	// implementations block on the wire (a cross-process transport) are
+	// taught to the concurrency rules.
+	BlockingFuncs []string
 }
 
 // DefaultConfig returns the scoping for the gosensei module itself.
@@ -94,8 +102,10 @@ func DefaultConfig() *Config {
 			m + "/internal/render",
 			m + "/internal/fabric",
 			m + "/internal/live",
+			m + "/internal/world",
 			m + "/cmd/posthoc",
 			m + "/cmd/endpoint",
+			m + "/cmd/gosensei-run",
 		},
 		MPIPkg:      m + "/internal/mpi",
 		RenderPkg:   m + "/internal/render",
@@ -106,6 +116,13 @@ func DefaultConfig() *Config {
 		// holding c.mu are the intended use, not the PR 3 deadlock shape.
 		LockAllowedFuncs: []string{
 			"(*" + m + "/internal/fabric.Client).writeFrameLocked",
+		},
+		// Transport.Send is an interface contract: the in-process mailbox
+		// delivery is cheap, but the cross-process implementation writes
+		// framed envelopes to a fabric conn, so every call site must be
+		// treated as a wire write that can park the goroutine.
+		BlockingFuncs: []string{
+			"(" + m + "/internal/mpi.Transport).Send",
 		},
 	}
 }
@@ -183,7 +200,7 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer, cfg *Config) *Result
 	var raw []Diagnostic
 	sup := newSuppressionIndex()
 	res := &Result{Packages: len(pkgs), PerRule: map[string]RuleCount{}}
-	facts := ComputeFacts(l, pkgs)
+	facts := ComputeFacts(l, pkgs, cfg)
 	for _, pkg := range pkgs {
 		res.Files += len(pkg.Files) + len(pkg.TestFiles)
 		for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {

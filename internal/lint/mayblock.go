@@ -20,7 +20,11 @@ import (
 //   - Read/Write/Accept methods declared in package net;
 //   - Read/Write/Accept calls through a conn-like interface (its method set
 //     has LocalAddr or Accept: net.Conn, net.Listener, and the fabric's Conn
-//     and Listener wrappers).
+//     and Listener wrappers);
+//   - calls to functions listed in Config.BlockingFuncs (matched by
+//     types.Func.FullName, including interface methods such as
+//     mpi.Transport.Send, whose cross-process implementation is a framed
+//     conn write).
 //
 // The last bullet is the interface conservatism boundary: a call through a
 // conn-like interface is assumed blocking regardless of the dynamic
@@ -54,6 +58,9 @@ type Facts struct {
 	// decls maps module functions to their declarations, letting syntactic
 	// rules (goroutine-leak) find the body behind `go f()`.
 	decls map[*types.Func]*ast.FuncDecl
+	// seeds holds Config.BlockingFuncs as a FullName set, consulted per
+	// call site alongside the built-in seed classification.
+	seeds map[string]bool
 }
 
 // MayBlock reports whether fn may block, with the reason recorded during the
@@ -91,8 +98,15 @@ type funcSummary struct {
 
 // ComputeFacts builds the may-block summary over pkgs plus every other
 // package the loader has already type-checked (so fixture packages see the
-// real module bodies behind their imports).
-func ComputeFacts(l *Loader, pkgs []*Package) *Facts {
+// real module bodies behind their imports). cfg contributes the configured
+// BlockingFuncs seeds; nil means no extra seeds.
+func ComputeFacts(l *Loader, pkgs []*Package, cfg *Config) *Facts {
+	seeds := map[string]bool{}
+	if cfg != nil {
+		for _, name := range cfg.BlockingFuncs {
+			seeds[name] = true
+		}
+	}
 	seen := map[string]bool{}
 	var all []*Package
 	for _, p := range pkgs {
@@ -108,7 +122,7 @@ func ComputeFacts(l *Loader, pkgs []*Package) *Facts {
 		}
 	}
 
-	facts := &Facts{mayBlock: map[*types.Func]string{}, decls: map[*types.Func]*ast.FuncDecl{}}
+	facts := &Facts{mayBlock: map[*types.Func]string{}, decls: map[*types.Func]*ast.FuncDecl{}, seeds: seeds}
 	var sums []*funcSummary
 	for _, p := range all {
 		for _, f := range p.Files {
@@ -123,7 +137,7 @@ func ComputeFacts(l *Loader, pkgs []*Package) *Facts {
 				}
 				facts.decls[fn] = fd
 				s := &funcSummary{fn: fn}
-				collectBlocking(p.Info, fd.Body, s)
+				collectBlocking(p.Info, fd.Body, s, seeds)
 				sums = append(sums, s)
 			}
 		}
@@ -158,7 +172,7 @@ func ComputeFacts(l *Loader, pkgs []*Package) *Facts {
 // collectBlocking walks one function body recording direct seeds and static
 // callees. Function literals are folded into the enclosing function unless
 // they are go-spawned.
-func collectBlocking(info *types.Info, body ast.Node, s *funcSummary) {
+func collectBlocking(info *types.Info, body ast.Node, s *funcSummary, seeds map[string]bool) {
 	var walk func(n ast.Node) bool
 	walk = func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -195,7 +209,7 @@ func collectBlocking(info *types.Info, body ast.Node, s *funcSummary) {
 			}
 			return false
 		case *ast.CallExpr:
-			if why, ok := directBlockingCall(info, n); ok {
+			if why, ok := directBlockingCall(info, n, seeds); ok {
 				s.record(why, n.Pos())
 			} else if fn := staticCallee(info, n); fn != nil {
 				s.callees = append(s.callees, fn)
@@ -213,10 +227,16 @@ func (s *funcSummary) record(why string, pos token.Pos) {
 }
 
 // directBlockingCall reports whether call is a blocking seed by itself (not
-// counting module callees resolved through the summary).
-func directBlockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+// counting module callees resolved through the summary). seeds is the
+// configured BlockingFuncs set, matched against the callee's FullName.
+func directBlockingCall(info *types.Info, call *ast.CallExpr, seeds map[string]bool) (string, bool) {
 	if name, ok := calleeFromPkg(info, call, "time"); ok && name == "Sleep" {
 		return "time.Sleep", true
+	}
+	if len(seeds) > 0 {
+		if fn := seedCallee(info, call); fn != nil && seeds[fn.FullName()] {
+			return "configured seed " + fn.FullName(), true
+		}
 	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -270,6 +290,33 @@ func recvTypeName(selection *types.Selection) string {
 		return named.Obj().Name()
 	}
 	return "Locker"
+}
+
+// seedCallee resolves the called *types.Func for BlockingFuncs matching.
+// Unlike staticCallee it also resolves interface-method calls — configured
+// seeds exist precisely to name interface contracts (mpi.Transport.Send)
+// whose dynamic implementations block on the wire.
+func seedCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := call.Fun
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ix.X
+	case *ast.IndexListExpr:
+		fun = ix.X
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if selection, ok := info.Selections[fun]; ok {
+			fn, _ := selection.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
 }
 
 // staticCallee resolves a call to the *types.Func it statically invokes:
@@ -336,7 +383,7 @@ func selectHasDefault(s *ast.SelectStmt) bool {
 // summary. sync.Cond.Wait is excluded — Wait releases the lock it is
 // conditioned on, which is the one sanctioned way to block under a mutex.
 func callMayBlock(info *types.Info, facts *Facts, call *ast.CallExpr) (string, bool) {
-	if why, ok := directBlockingCall(info, call); ok {
+	if why, ok := directBlockingCall(info, call, facts.seeds); ok {
 		if why == "sync.Cond.Wait" {
 			return "", false
 		}

@@ -17,7 +17,7 @@ func computeMayblockFacts(t *testing.T) (*Package, *Facts) {
 	if err != nil {
 		t.Fatalf("load mayblock fixture: %v", err)
 	}
-	return pkg, ComputeFacts(l, []*Package{pkg})
+	return pkg, ComputeFacts(l, []*Package{pkg}, DefaultConfig())
 }
 
 // fixtureFunc resolves a package-level function of the fixture by name.

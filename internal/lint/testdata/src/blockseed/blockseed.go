@@ -1,0 +1,70 @@
+// Package blockseed is the golden fixture for Config.BlockingFuncs: a call
+// through mpi.Transport.Send — interface dispatch the conn-like heuristic
+// cannot see — must count as a blocking seed, both directly under a lock and
+// transitively through a module wrapper, while a plain mailbox-style method
+// of the same name on a concrete local type stays unlisted and clean.
+package blockseed
+
+import (
+	"sync"
+
+	"gosensei/internal/mpi"
+)
+
+// Shipper guards a cross-process transport with a mutex — the exact shape
+// the configured seed exists to police.
+type Shipper struct {
+	mu   sync.Mutex
+	tr   mpi.Transport
+	next uint64
+}
+
+// ShipLocked sends while holding the lock: the configured seed fires at the
+// interface call site itself.
+func (s *Shipper) ShipLocked(env *mpi.Envelope) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr.Send(env) // want lock-blocking
+}
+
+// forward wraps the transport send; the fixpoint must mark it may-block so
+// callers inherit the seed.
+func forward(tr mpi.Transport, env *mpi.Envelope) error {
+	return tr.Send(env)
+}
+
+// ShipViaWrapper blocks transitively through forward.
+func (s *Shipper) ShipViaWrapper(env *mpi.Envelope) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return forward(s.tr, env) // want lock-blocking
+}
+
+// ShipAfterUnlock takes the lock only for the sequence bump and sends
+// outside the critical section: no finding.
+func (s *Shipper) ShipAfterUnlock(env *mpi.Envelope) error {
+	s.mu.Lock()
+	env.Seq = s.next
+	s.next++
+	s.mu.Unlock()
+	return s.tr.Send(env)
+}
+
+// localBox is a concrete type whose Send is a plain slice append — same
+// method name as the seed, different FullName, so it must stay clean.
+type localBox struct {
+	envs []*mpi.Envelope
+}
+
+func (b *localBox) Send(env *mpi.Envelope) error {
+	b.envs = append(b.envs, env)
+	return nil
+}
+
+// StashLocked appends under the lock through the concrete method: the seed
+// set matches FullNames, not bare method names, so this is not a finding.
+func (s *Shipper) StashLocked(b *localBox, env *mpi.Envelope) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return b.Send(env)
+}

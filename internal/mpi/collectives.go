@@ -152,18 +152,37 @@ func putBuf[T any](ptr *[]T) {
 
 // sendBuf ships a pooled buffer to dest on a reserved collective tag,
 // transferring ownership: the receiver returns it to the pool (or keeps
-// recycling it). The pointer payload makes the hop allocation-free.
+// recycling it). The pointer payload makes the in-process hop
+// allocation-free. A remote destination gets the buffer's bytes on the wire
+// instead, and the buffer goes straight back to the local pool — ownership
+// "transfers" to the copy in flight.
 func sendBuf[T any](c *Comm, dest, tag int, ptr *[]T) {
 	countSent[T](c, len(*ptr))
+	if wd := c.remoteDst(dest); wd >= 0 {
+		c.sendRemote(buildEnvelope(c, wd, tag, *ptr))
+		putBuf(ptr)
+		return
+	}
 	c.send(dest, tag, ptr)
 }
 
 // recvBuf receives a pooled buffer shipped with sendBuf. The caller owns the
-// buffer until it putBufs it onward.
+// buffer until it putBufs it onward. A wire envelope decodes into a pooled
+// buffer, so the collectives' steady-state allocation profile holds on both
+// transports.
 func recvBuf[T any](c *Comm, src, tag int) (*[]T, error) {
 	msg, err := c.recv(src, tag)
 	if err != nil {
 		return nil, err
+	}
+	if env, ok := msg.payload.(*Envelope); ok {
+		ptr := getBuf[T](env.Count)
+		if derr := decodePayloadInto(env, *ptr); derr != nil {
+			putBuf(ptr)
+			return nil, derr
+		}
+		countRecv[T](c, env.Count)
+		return ptr, nil
 	}
 	ptr, ok := msg.payload.(*[]T)
 	if !ok {

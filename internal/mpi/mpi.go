@@ -58,12 +58,15 @@ type message struct {
 
 // mailbox holds pending messages for one world rank. high is the per-sender
 // dedup high-water mark, allocated lazily by the fault-injection path and
-// nil on every fault-free run.
+// nil on every fault-free run. dead, once set by poison, fails every
+// receive that finds no queued match — the distributed world's fast path
+// from "peer process died" to "collective errors out".
 type mailbox struct {
 	mu      sync.Mutex
 	pending []message
 	waiters []chan struct{}
 	high    map[int]uint64
+	dead    error
 }
 
 func (m *mailbox) put(msg message) {
@@ -102,7 +105,9 @@ func getWaiter() chan struct{} {
 }
 
 // take removes and returns the first message matching (src, tag, ctx).
-// It blocks until a match arrives or the timeout elapses.
+// It blocks until a match arrives, the mailbox is poisoned, or the timeout
+// elapses. Messages queued before the poison still deliver; only a receive
+// that would otherwise wait fails fast.
 func (m *mailbox) take(src, tag, ctx int, timeout time.Duration) (message, error) {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -120,6 +125,11 @@ func (m *mailbox) take(src, tag, ctx int, timeout time.Duration) (message, error
 			m.pending = append(m.pending[:i], m.pending[i+1:]...)
 			m.mu.Unlock()
 			return msg, nil
+		}
+		if m.dead != nil {
+			err := m.dead
+			m.mu.Unlock()
+			return message{}, err
 		}
 		w := getWaiter()
 		m.waiters = append(m.waiters, w)
@@ -140,6 +150,24 @@ func (m *mailbox) take(src, tag, ctx int, timeout time.Duration) (message, error
 			return message{}, fmt.Errorf("mpi: recv timeout (possible deadlock) waiting for src=%d tag=%d ctx=%d", src, tag, ctx)
 		}
 	}
+}
+
+// poison marks the mailbox dead and wakes every blocked receive. The first
+// error sticks; later poisons are no-ops so the most specific failure (the
+// one observed first) is what receives report.
+func (m *mailbox) poison(err error) {
+	m.mu.Lock()
+	if m.dead == nil {
+		m.dead = err
+	}
+	for _, w := range m.waiters {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+	m.waiters = m.waiters[:0]
+	m.mu.Unlock()
 }
 
 // timerPool recycles deadlock-detection timers across blocking receives;
@@ -168,14 +196,19 @@ func putTimer(t *time.Timer) {
 	timerPool.Put(t)
 }
 
-// World owns the shared state of one Run invocation.
+// World owns one process's share of a communicator universe. For Run it is
+// the whole world: every rank's mailbox lives in boxes. For a distributed
+// world built with NewWorld, only the locally hosted rank's mailbox is
+// non-nil and remote carries envelopes to the rest; a nil remote is the
+// single pointer test that keeps the in-process send path at its
+// pre-transport cost.
 type World struct {
 	size        int
 	boxes       []*mailbox
 	traffic     []trafficCounters
-	nextCtx     atomic.Int64
 	recvTimeout time.Duration
 	faults      FaultInjector
+	remote      Transport
 }
 
 // Traffic is a snapshot of one rank's point-to-point odometers. Collectives
@@ -313,9 +346,13 @@ func (c *Comm) recv(src, tag int) (message, error) {
 
 // Send transmits a copy of data to dest with the given tag.
 func Send[T any](c *Comm, dest, tag int, data []T) {
+	countSent[T](c, len(data))
+	if wd := c.remoteDst(dest); wd >= 0 {
+		c.sendRemote(buildEnvelope(c, wd, tag, data))
+		return
+	}
 	cp := make([]T, len(data))
 	copy(cp, data)
-	countSent[T](c, len(data))
 	c.send(dest, tag, cp)
 }
 
@@ -328,6 +365,10 @@ func Send[T any](c *Comm, dest, tag int, data []T) {
 // the sender needs to keep its buffer.
 func SendOwned[T any](c *Comm, dest, tag int, data []T) {
 	countSent[T](c, len(data))
+	if wd := c.remoteDst(dest); wd >= 0 {
+		c.sendRemote(buildEnvelope(c, wd, tag, data))
+		return
+	}
 	c.send(dest, tag, data)
 }
 
@@ -346,6 +387,14 @@ func Recv[T any](c *Comm, src, tag int) ([]T, int, error) {
 	msg, err := c.recv(src, tag)
 	if err != nil {
 		return nil, -1, err
+	}
+	if env, ok := msg.payload.(*Envelope); ok {
+		data, derr := decodePayload[T](env)
+		if derr != nil {
+			return nil, msg.src, derr
+		}
+		countRecv[T](c, len(data))
+		return data, msg.src, nil
 	}
 	data, ok := msg.payload.([]T)
 	if !ok {
@@ -372,27 +421,25 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Deterministic new context id: derive from a collectively agreed value.
-	// Rank 0 of the parent allocates one id per color and broadcasts.
+	// Deterministic new context id, derived identically on every rank — and,
+	// because the inputs are the collectively gathered (color, key) table,
+	// identically in every process of a distributed world: contexts form a
+	// tree rooted at the world context 0, and the child communicator for the
+	// i-th distinct color (sorted) of a parent with context p gets
+	// p*(worldSize+1) + i + 1. Uniqueness is by induction on the tree: two
+	// children of one parent differ in i; children of different parents
+	// sharing a rank have parents sharing that rank, whose contexts differ,
+	// and i+1 <= worldSize keeps the mapping injective. No counter, no
+	// broadcast — the same Split call yields the same context on every
+	// transport.
 	colors := map[int]bool{}
 	for _, e := range all {
 		colors[e.Color] = true
 	}
-	// Assign context ids on rank 0 and broadcast the (color -> ctx) table.
-	ncolors := len(colors)
-	ids := make([]int64, ncolors)
 	sorted := sortedKeys(colors)
-	if c.rank == 0 {
-		for i := range ids {
-			ids[i] = c.world.nextCtx.Add(1)
-		}
-	}
-	if err := Bcast(c, ids, 0); err != nil {
-		return nil, err
-	}
 	ctxOf := map[int]int{}
 	for i, col := range sorted {
-		ctxOf[col] = int(ids[i])
+		ctxOf[col] = c.ctx*(c.world.size+1) + i + 1
 	}
 	// Build my group: members with my color, sorted by (key, rank).
 	var members []ck

@@ -1,0 +1,105 @@
+package world
+
+import (
+	"fmt"
+	"testing"
+
+	"gosensei/internal/mpi"
+)
+
+// benchCollective times fn (one collective round per call) on every rank of
+// an np-rank world over the given transport, excluding world assembly and
+// shutdown from the timed region. "proc" is the in-process goroutine
+// transport (mpi.Run); "loopback" and "tcp" are cross-process-shaped worlds
+// over pipes and real sockets. The proc-vs-tcp delta is the wire cost of a
+// collective round — what BENCH_8.json records.
+func benchCollective(b *testing.B, transport string, np int, fn func(c *mpi.Comm) error) {
+	b.Helper()
+	ready := make(chan struct{})
+	start := make(chan struct{})
+	finished := make(chan struct{})
+	rank := func(c *mpi.Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			close(ready)
+		}
+		<-start
+		for i := 0; i < b.N; i++ {
+			if err := fn(c); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			close(finished)
+		}
+		return nil
+	}
+	errc := make(chan []error, 1)
+	go func() {
+		if transport == "proc" {
+			err := mpi.Run(np, rank)
+			errc <- []error{err}
+		} else {
+			errc <- Launch(np, testBenchConfig(transport), rank)
+		}
+	}()
+	<-ready
+	b.ResetTimer()
+	close(start)
+	<-finished
+	b.StopTimer()
+	for _, err := range <-errc {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func testBenchConfig(transport string) Config {
+	return Config{Network: transport, ID: 9000 + worldIDs.Add(1), Epoch: 1}
+}
+
+// BenchmarkWorldAllreduce measures one Allreduce round per op: "small" (64
+// float64, recursive doubling) isolates per-message latency; "large" (16384
+// float64, Rabenseifner) adds bandwidth.
+func BenchmarkWorldAllreduce(b *testing.B) {
+	for _, size := range []struct {
+		name  string
+		elems int
+	}{{"small", 64}, {"large", 16384}} {
+		for _, transport := range []string{"proc", "loopback", "tcp"} {
+			for _, np := range []int{2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%s/P%d", size.name, transport, np), func(b *testing.B) {
+					elems := size.elems
+					benchCollective(b, transport, np, func(c *mpi.Comm) error {
+						send := make([]float64, elems)
+						for i := range send {
+							send[i] = float64(c.Rank() + i)
+						}
+						recv := make([]float64, elems)
+						return mpi.Allreduce(c, send, recv, mpi.OpSum)
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkWorldBarrier is the pure synchronization floor: no payload, just
+// the dissemination rounds.
+func BenchmarkWorldBarrier(b *testing.B) {
+	for _, transport := range []string{"proc", "loopback", "tcp"} {
+		for _, np := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/P%d", transport, np), func(b *testing.B) {
+				benchCollective(b, transport, np, func(c *mpi.Comm) error {
+					return c.Barrier()
+				})
+			})
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package world
+
+import (
+	"fmt"
+	"sync"
+
+	"gosensei/internal/mpi"
+)
+
+// Launch assembles an n-rank world with every rank hosted by a goroutine of
+// this process — the in-process twin of the cmd/gosensei-run N-process
+// launch, and the shape the contract tests and benchmarks use. It hosts the
+// registry, joins n workers over cfg.Network, runs fn on each rank's
+// communicator, exchanges goodbyes, and returns the per-rank errors
+// (all nil on success).
+//
+// cfg supplies the world identity and per-rank options; Rank and Registry
+// are filled in per worker. Worlds sharing a loopback namespace must use
+// distinct (ID, Epoch) pairs, since loopback listener names derive from
+// them.
+func Launch(n int, cfg Config, fn func(c *mpi.Comm) error) []error {
+	errs := make([]error, n)
+	reg, err := NewRegistry(cfg.Network, registryAddr(cfg), cfg.ID, cfg.Epoch, n)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	regErr := make(chan error, 1)
+	go func() {
+		_, err := reg.Serve()
+		regErr <- err
+	}()
+
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := cfg
+			c.Rank, c.Size, c.Registry = rank, n, reg.Addr()
+			w, err := Join(c)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			errs[rank] = w.Run(fn)
+			if cerr := w.Close(); cerr != nil && errs[rank] == nil {
+				errs[rank] = cerr
+			}
+		}(rank)
+	}
+	wg.Wait()
+	// If a worker died before registering, Serve is still blocked in Accept;
+	// closing the listener unblocks it (harmless if Serve already finished).
+	_ = reg.Close()
+	if err := <-regErr; err != nil {
+		for i := range errs {
+			if errs[i] == nil {
+				errs[i] = fmt.Errorf("world: registry: %w", err)
+			}
+		}
+	}
+	return errs
+}
+
+// registryAddr picks the registry's listener address for Launch.
+func registryAddr(cfg Config) string {
+	if cfg.Network == "tcp" {
+		return "127.0.0.1:0"
+	}
+	return fmt.Sprintf("world-%d-e%d-registry", cfg.ID, cfg.Epoch)
+}

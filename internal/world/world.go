@@ -1,0 +1,447 @@
+// Package world runs an mpi communicator across OS processes (and, in
+// principle, machines) over internal/fabric connections — the sharding step
+// that turns the paper's simulated P-scaling into measured P-scaling: every
+// rank becomes a real process, and the binomial/ring/Rabenseifner collective
+// schedules in internal/mpi execute their actual communication patterns over
+// TCP.
+//
+// Topology: a tiny registry (usually hosted by the launcher, cmd/gosensei-
+// run) accepts one registration per rank — a version-3 fabric Hello carrying
+// the world identity (id, epoch, size), the claimed rank, and the rank's own
+// listener address — answers each immediately with a Welcome confirming the
+// placement, and, once all N ranks are present, broadcasts the complete
+// rank -> address table (FrameWorldInfo). The ranks then mesh directly:
+// rank i dials every rank j < i and accepts from every j > i, so each pair
+// shares exactly one connection, authenticated by the same Hello/Welcome
+// exchange. Point-to-point sends travel as FrameEnvelope frames; a clean
+// shutdown exchanges FrameEOS with every peer, so a raw EOF is always a
+// peer death and poisons the local mailbox (mpi.World.Fail) instead of
+// waiting out the deadlock timeout.
+//
+// The same code runs over real sockets ("tcp") and the in-process loopback
+// pipes ("loopback"), which is how the contract tests assert that a
+// collective's result is bit-identical across transports.
+package world
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gosensei/internal/fabric"
+	"gosensei/internal/mpi"
+)
+
+// DefaultJoinTimeout bounds how long Join waits for the rest of the world
+// to register, and Close waits for peers' EOS.
+const DefaultJoinTimeout = 30 * time.Second
+
+// FaultHook is the world-domain fault seam, consulted once per wire send by
+// the hosting rank. A kill answer aborts the rank: connections close
+// abruptly (no EOS, so peers observe a genuine death) and the rank panics
+// with the returned token. Implemented by faultline's WorldPlan.
+type FaultHook interface {
+	// BeforeSend observes the rank's next wire send and returns the
+	// fired-fault repro token and true when the rank must die now.
+	BeforeSend(rank int) (token string, kill bool)
+}
+
+// Config describes one rank's membership in a world.
+type Config struct {
+	// Network selects the fabric: "tcp" or "loopback".
+	Network string
+	// Registry is the registry address to dial (host:port for tcp, the
+	// registry's loopback name otherwise).
+	Registry string
+	// ID and Epoch identify the world incarnation; every member and the
+	// registry must agree, so stragglers from a previous launch are refused.
+	ID    uint64
+	Epoch uint32
+	// Rank and Size place this process in the world.
+	Rank, Size int
+	// JoinTimeout bounds the wait for the world to assemble (and for peers'
+	// EOS at Close); 0 means DefaultJoinTimeout.
+	JoinTimeout time.Duration
+	// RecvTimeout overrides mpi's deadlock-detection timeout when > 0.
+	RecvTimeout time.Duration
+	// Faults is the mpi-domain injector (delay/dup/reorder/stall/crash),
+	// applied to wire sends exactly as the in-process runtime applies it to
+	// mailbox puts.
+	Faults mpi.FaultInjector
+	// Hook is the world-domain fault seam (rankkill); nil disables it.
+	Hook FaultHook
+	// WrapConn, when set, decorates every mesh connection (keyed by the
+	// peer's rank) — the faultline conn-wrapper seam.
+	WrapConn func(rank int, c fabric.Conn) fabric.Conn
+}
+
+// World is one process's membership: the mesh of peer connections plus the
+// mpi world it feeds. It implements mpi.Transport.
+type World struct {
+	cfg  Config
+	mw   *mpi.World
+	comm *mpi.Comm
+	// peersMu guards slot writes during meshing against a concurrent
+	// teardown from an early-failing pump; steady-state Send reads need no
+	// lock because Join's completion orders them after every write.
+	peersMu sync.Mutex
+	peers   []*peer // indexed by world rank; nil at cfg.Rank
+
+	pumps    sync.WaitGroup
+	shutdown atomic.Bool // Close in progress: read errors are expected
+	failed   atomic.Bool
+}
+
+// peer is one mesh connection. The mutex serializes whole-frame writes; the
+// scratch buffers keep the steady-state encode path allocation-free.
+type peer struct {
+	rank int
+	mu   sync.Mutex
+	conn fabric.Conn
+	env  []byte
+	buf  []byte
+	seq  uint32
+}
+
+// send encodes env and writes it as one frame.
+func (p *peer) send(env *mpi.Envelope) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		return fmt.Errorf("world: connection to rank %d is closed", p.rank)
+	}
+	p.env = mpi.AppendEnvelope(p.env[:0], env)
+	p.buf = fabric.AppendFrame(p.buf[:0], fabric.FrameEnvelope, p.seq, p.env)
+	p.seq++
+	//lint:ignore lock-blocking the per-peer mutex exists to serialize whole-frame writes; nothing else is ever taken under it and the read pump never takes it, so the PR 3 lock-cycle shape cannot form (DESIGN.md 4.11)
+	_, err := p.conn.Write(p.buf)
+	return err
+}
+
+// sendEOS writes the clean-shutdown frame.
+func (p *peer) sendEOS() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		return fmt.Errorf("world: connection to rank %d is closed", p.rank)
+	}
+	p.buf = fabric.AppendFrame(p.buf[:0], fabric.FrameEOS, p.seq, nil)
+	p.seq++
+	//lint:ignore lock-blocking same single-purpose write mutex as peer.send (DESIGN.md 4.11)
+	_, err := p.conn.Write(p.buf)
+	return err
+}
+
+// close tears the connection down; safe to call repeatedly.
+func (p *peer) close() {
+	p.mu.Lock()
+	c := p.conn
+	p.conn = nil
+	p.mu.Unlock()
+	if c != nil {
+		_ = c.Close() // already failing or done; nothing is reading the result
+	}
+}
+
+// Join assembles this rank's membership: listen for peers, register with the
+// registry, receive the address book, and mesh with every peer. It returns
+// once all Size-1 connections are up and pumping.
+func Join(cfg Config) (*World, error) {
+	if cfg.Size <= 0 || cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("world: invalid rank %d of %d", cfg.Rank, cfg.Size)
+	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = DefaultJoinTimeout
+	}
+	w := &World{cfg: cfg, peers: make([]*peer, cfg.Size)}
+	var opts []mpi.Option
+	if cfg.RecvTimeout > 0 {
+		opts = append(opts, mpi.WithRecvTimeout(cfg.RecvTimeout))
+	}
+	if cfg.Faults != nil {
+		opts = append(opts, mpi.WithFaults(cfg.Faults))
+	}
+	w.mw, w.comm = mpi.NewWorld(cfg.Rank, cfg.Size, w, opts...)
+	if cfg.Size == 1 {
+		return w, nil // a world of one has no wire
+	}
+
+	ls, err := fabric.Listen(cfg.Network, w.listenAddr())
+	if err != nil {
+		return nil, fmt.Errorf("world: rank %d listen: %w", cfg.Rank, err)
+	}
+	defer func() { _ = ls.Close() }() // mesh is fully connected before Join returns
+
+	addrs, err := w.register(ls.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+
+	// Mesh: accept the higher ranks while dialing the lower ones, so no
+	// pairwise ordering can deadlock the 5s handshake windows.
+	errc := make(chan error, 2)
+	go func() { errc <- w.acceptPeers(ls) }()
+	go func() { errc <- w.dialPeers(addrs) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			w.closePeers()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// listenAddr picks the rank's listener address: an ephemeral TCP port, or a
+// collision-free loopback name derived from the world identity.
+func (w *World) listenAddr() string {
+	if w.cfg.Network == "tcp" {
+		return "127.0.0.1:0"
+	}
+	return fmt.Sprintf("world-%d-e%d-rank-%d", w.cfg.ID, w.cfg.Epoch, w.cfg.Rank)
+}
+
+// register announces this rank to the registry and waits for the address
+// book naming every member.
+func (w *World) register(selfAddr string) ([]string, error) {
+	cfg := w.cfg
+	conn, err := fabric.Dial(cfg.Network, cfg.Registry)
+	if err != nil {
+		return nil, fmt.Errorf("world: rank %d dial registry: %w", cfg.Rank, err)
+	}
+	defer func() { _ = conn.Close() }() // the registry conn dies after the address book
+	welcome, fr, err := fabric.DialHello(conn, fabric.Hello{
+		Role:       fabric.RoleRank,
+		Rank:       uint32(cfg.Rank),
+		WorldID:    cfg.ID,
+		WorldEpoch: cfg.Epoch,
+		WorldSize:  uint32(cfg.Size),
+		PeerAddr:   selfAddr,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("world: rank %d register: %w", cfg.Rank, err)
+	}
+	if welcome.WorldID != cfg.ID || welcome.WorldEpoch != cfg.Epoch || int(welcome.PeerRank) != cfg.Rank {
+		return nil, fmt.Errorf("world: registry confirmed world %d epoch %d rank %d, want %d/%d/%d",
+			welcome.WorldID, welcome.WorldEpoch, welcome.PeerRank, cfg.ID, cfg.Epoch, cfg.Rank)
+	}
+	// The address book arrives once the last rank registers; give the whole
+	// world the join window to show up.
+	if err := conn.SetReadDeadline(time.Now().Add(cfg.JoinTimeout)); err != nil {
+		return nil, fmt.Errorf("world: rank %d arm join deadline: %w", cfg.Rank, err)
+	}
+	typ, _, payload, err := fr.Next()
+	if err != nil {
+		return nil, fmt.Errorf("world: rank %d await address book: %w", cfg.Rank, err)
+	}
+	if typ != fabric.FrameWorldInfo {
+		return nil, fmt.Errorf("world: rank %d expected world-info, got %s", cfg.Rank, typ)
+	}
+	id, epoch, addrs, err := decodeWorldInfo(payload)
+	if err != nil {
+		return nil, err
+	}
+	if id != cfg.ID || epoch != cfg.Epoch || len(addrs) != cfg.Size {
+		return nil, fmt.Errorf("world: address book names world %d epoch %d size %d, want %d/%d/%d",
+			id, epoch, len(addrs), cfg.ID, cfg.Epoch, cfg.Size)
+	}
+	return addrs, nil
+}
+
+// acceptPeers accepts one mesh connection from every higher rank.
+func (w *World) acceptPeers(ls fabric.Listener) error {
+	cfg := w.cfg
+	seen := make(map[int]bool)
+	for have := 0; have < cfg.Size-1-cfg.Rank; {
+		conn, err := ls.Accept()
+		if err != nil {
+			return fmt.Errorf("world: rank %d accept peer: %w", cfg.Rank, err)
+		}
+		h, fr, err := fabric.AcceptHello(conn)
+		if err != nil {
+			_ = conn.Close()
+			return fmt.Errorf("world: rank %d peer handshake: %w", cfg.Rank, err)
+		}
+		from := int(h.Rank)
+		if h.Role != fabric.RoleRank || h.WorldID != cfg.ID || h.WorldEpoch != cfg.Epoch ||
+			from <= cfg.Rank || from >= cfg.Size || seen[from] {
+			// A straggler from another incarnation (or a confused dialer):
+			// refuse it without failing the world.
+			_ = conn.Close()
+			continue
+		}
+		if err := fabric.SendWelcome(conn, fabric.Welcome{WorldID: cfg.ID, WorldEpoch: cfg.Epoch, PeerRank: uint32(from)}, h.Version); err != nil {
+			_ = conn.Close()
+			return fmt.Errorf("world: rank %d welcome peer %d: %w", cfg.Rank, from, err)
+		}
+		seen[from] = true
+		w.addPeer(from, conn, fr)
+		have++
+	}
+	return nil
+}
+
+// dialPeers connects to every lower rank from the address book.
+func (w *World) dialPeers(addrs []string) error {
+	cfg := w.cfg
+	for j := 0; j < cfg.Rank; j++ {
+		conn, err := fabric.Dial(cfg.Network, addrs[j])
+		if err != nil {
+			return fmt.Errorf("world: rank %d dial rank %d: %w", cfg.Rank, j, err)
+		}
+		welcome, fr, err := fabric.DialHello(conn, fabric.Hello{
+			Role:       fabric.RoleRank,
+			Rank:       uint32(cfg.Rank),
+			WorldID:    cfg.ID,
+			WorldEpoch: cfg.Epoch,
+			WorldSize:  uint32(cfg.Size),
+		})
+		if err != nil {
+			_ = conn.Close()
+			return fmt.Errorf("world: rank %d handshake with rank %d: %w", cfg.Rank, j, err)
+		}
+		if welcome.WorldID != cfg.ID || welcome.WorldEpoch != cfg.Epoch || int(welcome.PeerRank) != cfg.Rank {
+			_ = conn.Close()
+			return fmt.Errorf("world: rank %d confirmed as world %d epoch %d rank %d by rank %d, want %d/%d/%d",
+				cfg.Rank, welcome.WorldID, welcome.WorldEpoch, welcome.PeerRank, j, cfg.ID, cfg.Epoch, cfg.Rank)
+		}
+		w.addPeer(j, conn, fr)
+	}
+	return nil
+}
+
+// addPeer installs a meshed connection and starts its read pump.
+func (w *World) addPeer(rank int, conn fabric.Conn, fr *fabric.FrameReader) {
+	if w.cfg.WrapConn != nil {
+		// NOTE: fr has already buffered from the raw conn during the
+		// handshake; wrapping only affects writes and future reads the
+		// wrapper chooses to intercept.
+		conn = w.cfg.WrapConn(rank, conn)
+	}
+	w.peersMu.Lock()
+	w.peers[rank] = &peer{rank: rank, conn: conn}
+	w.peersMu.Unlock()
+	w.pumps.Add(1)
+	go w.pump(rank, fr)
+}
+
+// pump decodes one peer's incoming frames into the local mailbox. It exits
+// on the peer's EOS (clean) or any error (peer death -> fail the world,
+// unless we are shutting down ourselves).
+func (w *World) pump(rank int, fr *fabric.FrameReader) {
+	defer w.pumps.Done()
+	for {
+		typ, _, payload, err := fr.Next()
+		if err != nil {
+			if !w.shutdown.Load() {
+				w.fail(fmt.Errorf("world: rank %d died (connection from rank %d: %v)", rank, w.cfg.Rank, err))
+			}
+			return
+		}
+		switch typ {
+		case fabric.FrameEnvelope:
+			env, derr := mpi.DecodeEnvelope(payload)
+			if derr != nil {
+				w.fail(fmt.Errorf("world: envelope from rank %d: %w", rank, derr))
+				return
+			}
+			if derr := w.mw.Deliver(&env); derr != nil {
+				w.fail(derr)
+				return
+			}
+		case fabric.FrameEOS:
+			return
+		default:
+			// Unknown control traffic is ignored, the same forward-
+			// compatibility stance the staging endpoint takes.
+		}
+	}
+}
+
+// fail poisons the local mailbox and tears down every connection so blocked
+// sends unblock; the first failure wins.
+func (w *World) fail(err error) {
+	if !w.failed.CompareAndSwap(false, true) {
+		return
+	}
+	w.mw.Fail(err)
+	w.closePeers()
+}
+
+func (w *World) closePeers() {
+	w.peersMu.Lock()
+	peers := make([]*peer, len(w.peers))
+	copy(peers, w.peers)
+	w.peersMu.Unlock()
+	for _, p := range peers {
+		if p != nil {
+			p.close()
+		}
+	}
+}
+
+// Comm returns the world communicator for the hosted rank.
+func (w *World) Comm() *mpi.Comm { return w.comm }
+
+// Run executes f as the hosted rank, converting a panic (rank crash, fault
+// injection, transport failure) into an error the caller can surface — the
+// same recovery contract mpi.Run gives goroutine ranks.
+func (w *World) Run(f func(c *mpi.Comm) error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("world: rank %d panicked: %v", w.cfg.Rank, p)
+		}
+	}()
+	return f(w.comm)
+}
+
+// Send implements mpi.Transport: route the envelope to its peer connection.
+func (w *World) Send(env *mpi.Envelope) error {
+	if w.cfg.Hook != nil {
+		if token, kill := w.cfg.Hook.BeforeSend(w.cfg.Rank); kill {
+			// Die abruptly: no EOS, connections torn down mid-protocol, so
+			// peers observe a genuine rank death.
+			w.shutdown.Store(true)
+			w.closePeers()
+			panic("faultline: fired " + token)
+		}
+	}
+	if env.WDst < 0 || env.WDst >= len(w.peers) || w.peers[env.WDst] == nil {
+		return fmt.Errorf("world: no connection to rank %d", env.WDst)
+	}
+	return w.peers[env.WDst].send(env)
+}
+
+// Close implements mpi.Transport: exchange EOS with every peer, bounded by
+// the join timeout, then tear the mesh down. Call it after the rank's work
+// is done; a non-nil error means some peer never said goodbye.
+func (w *World) Close() error {
+	w.shutdown.Store(true)
+	var firstErr error
+	for _, p := range w.peers {
+		if p == nil {
+			continue
+		}
+		if err := p.sendEOS(); err != nil && firstErr == nil && !w.failed.Load() {
+			firstErr = fmt.Errorf("world: rank %d goodbye to rank %d: %w", w.cfg.Rank, p.rank, err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		w.pumps.Wait()
+		close(done)
+	}()
+	timeout := w.cfg.JoinTimeout
+	if timeout <= 0 {
+		timeout = DefaultJoinTimeout
+	}
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		if firstErr == nil {
+			firstErr = fmt.Errorf("world: rank %d timed out waiting for peer goodbyes", w.cfg.Rank)
+		}
+	}
+	w.closePeers()
+	return firstErr
+}

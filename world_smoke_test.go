@@ -1,0 +1,91 @@
+package gosensei
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runStdout executes the launcher and returns stdout and stderr separately —
+// the cross-transport contract is on stdout bytes alone.
+func runStdout(t *testing.T, bin string, args ...string) (string, string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = t.TempDir()
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	return stdout.String(), stderr.String(), err
+}
+
+// TestWorldSmoke is the acceptance gate for the cross-process world: a
+// 4-process oscillator -> histogram run over real TCP must be bit-identical
+// to the in-process run, and so must the binary-swap compositing pipeline.
+func TestWorldSmoke(t *testing.T) {
+	bin := buildTool(t, "gosensei-run")
+	pipelines := []struct {
+		name string
+		args []string
+	}{
+		{"histogram", []string{"-pipeline", "histogram", "-cells", "12", "-steps", "4"}},
+		{"binswap", []string{"-pipeline", "binswap", "-steps", "3"}},
+	}
+	for _, p := range pipelines {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			t.Parallel()
+			base := append([]string{"-np", "4"}, p.args...)
+			proc, _, err := runStdout(t, bin, append(base, "-transport", "proc")...)
+			if err != nil {
+				t.Fatalf("proc: %v", err)
+			}
+			if !strings.Contains(proc, "step=") {
+				t.Fatalf("proc produced no steps:\n%s", proc)
+			}
+			for _, transport := range []string{"loopback", "tcp"} {
+				got, stderr, err := runStdout(t, bin, append(base, "-transport", transport)...)
+				if err != nil {
+					t.Fatalf("%s: %v\nstderr:\n%s", transport, err, stderr)
+				}
+				if got != proc {
+					t.Errorf("%s output diverges from proc:\n--- proc:\n%s--- %s:\n%s",
+						transport, proc, transport, got)
+				}
+			}
+		})
+	}
+}
+
+// TestWorldSmokeRankkill asserts the fatal-fault contract across real
+// processes: a world.rankkill schedule makes the victim process die, the
+// launcher exits non-zero with the fault's distinct exit code, and the repro
+// token appears on stderr so the failure can be replayed.
+func TestWorldSmokeRankkill(t *testing.T) {
+	bin := buildTool(t, "gosensei-run")
+	const schedule = "7:world.rankkill(rank=2,op=4)"
+	for _, transport := range []string{"loopback", "tcp"} {
+		transport := transport
+		t.Run(transport, func(t *testing.T) {
+			t.Parallel()
+			_, stderr, err := runStdout(t, bin,
+				"-np", "4", "-transport", transport,
+				"-pipeline", "histogram", "-cells", "8", "-steps", "5",
+				"-faults", schedule)
+			if err == nil {
+				t.Fatal("fatal schedule exited zero")
+			}
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("launcher did not run: %v", err)
+			}
+			if ee.ExitCode() != 3 {
+				t.Errorf("exit code %d, want 3 (fault fired)\nstderr:\n%s", ee.ExitCode(), stderr)
+			}
+			if !strings.Contains(stderr, "world.rankkill(rank=2,op=4)") {
+				t.Errorf("repro token missing from stderr:\n%s", stderr)
+			}
+		})
+	}
+}
