@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build vet fmt-check lint lint-stats test bench bench-smoke bench-collectives bench-wire bench-world fabric-smoke faultline-smoke fuzz-smoke world-smoke race cover experiments examples clean
+.PHONY: all check build vet fmt-check lint lint-stats test bench bench-smoke bench-collectives bench-wire bench-world bench-live fabric-smoke faultline-smoke fuzz-smoke world-smoke live-smoke race cover experiments examples clean
 
 all: build vet lint test
 
-check: build vet fmt-check lint test race bench-smoke bench-collectives bench-wire fabric-smoke faultline-smoke fuzz-smoke world-smoke
+check: build vet fmt-check lint test race bench-smoke bench-collectives bench-wire bench-live fabric-smoke faultline-smoke fuzz-smoke world-smoke live-smoke
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,20 @@ bench-wire:
 bench-world:
 	$(GO) test -run XXX -bench 'BenchmarkWorld' -benchtime=1x ./internal/world/
 
+# One iteration of the live fan-out benchmarks: the rebuilt hub vs the
+# embedded seed hub at 1..1000 in-process subscribers (BENCH_9.json pins the
+# stable-timing sweep plus the cmd/live-load wire curves).
+bench-live:
+	$(GO) test -run XXX -bench 'BenchmarkPublish|BenchmarkLegacyPublish|BenchmarkFanout|BenchmarkLegacyFanout' -benchtime=1x -benchmem ./internal/live/
+
+# The fan-out scale contract end to end over real connections: 200 wire
+# viewers (10% read-delayed) against a paced publish sequence; enforces flat
+# publish cost, universal convergence on the final frame, and server-side
+# credit gating of slow viewers (skip-to-newest, not backlog).
+live-smoke:
+	$(GO) run ./cmd/live-load -viewers 200 -frames 20 -check
+	$(GO) run ./cmd/live-load -viewers 200 -frames 20 -network tcp -check
+
 # The multi-process deployment end to end: gosensei-run spawns N single-rank
 # OS processes over TCP (and N goroutine ranks over loopback), runs the
 # oscillator->histogram and binary-swap pipelines, and both must produce
@@ -88,6 +102,7 @@ faultline-smoke:
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzFrameDecode -fuzztime 10s ./internal/fabric/
 	$(GO) test -run XXX -fuzz FuzzDecode -fuzztime 10s ./internal/adios/
+	$(GO) test -run XXX -fuzz FuzzFramePayloadDecode -fuzztime 10s ./internal/live/
 
 cover:
 	$(GO) test -cover ./...

@@ -51,6 +51,7 @@ import (
 	"gosensei/internal/fabric"
 	"gosensei/internal/faultline"
 	"gosensei/internal/grid"
+	"gosensei/internal/live"
 	"gosensei/internal/metrics"
 	"gosensei/internal/mpi"
 	"gosensei/internal/oscillator"
@@ -70,6 +71,9 @@ type options struct {
 	codecs                     []uint8 // endpoint preference order
 	codecMask                  uint32  // writer-side offer (-connect)
 	extractSpec                *fabric.ExtractSpec
+	live                       string
+	liveHub                    *live.Hub
+	liveSrv                    *live.Server
 }
 
 func main() {
@@ -89,6 +93,7 @@ func main() {
 	flag.StringVar(&o.faults, "faults", "", "fault-injection schedule <seed:spec> applied to the writer group (see internal/faultline)")
 	flag.StringVar(&o.codec, "codec", "", "wire codec preference, comma separated: raw | flate | delta (default raw; with -connect, the set offered to the endpoint)")
 	flag.StringVar(&o.extract, "extract", "", "ship a reduced product instead of full containers: histogram:<array>:<bins> | slice:<axis>:<coord>:<array>")
+	flag.StringVar(&o.live, "live", "", "with -workload catalyst-slice: serve rendered frames to live wire viewers on tcp host:port")
 	flag.Parse()
 
 	if o.codec != "" {
@@ -117,6 +122,24 @@ func main() {
 		o.extractSpec = spec
 	}
 
+	if o.live != "" {
+		// The live hub hangs off the analysis side's catalyst adaptor —
+		// the paper's "connect the ParaView GUI to the running endpoint".
+		if o.workload != "catalyst-slice" {
+			fatal(fmt.Errorf("-live requires -workload catalyst-slice (only the slice adaptor renders frames)"))
+		}
+		if o.connect != "" {
+			fatal(fmt.Errorf("-live is served by the analysis side; use it with -listen or in local mode"))
+		}
+		lis, err := fabric.Listen("tcp", o.live)
+		if err != nil {
+			fatal(err)
+		}
+		o.liveHub = live.NewHub()
+		o.liveSrv = live.Serve(lis, o.liveHub)
+		fmt.Printf("live: serving viewers on %s\n", o.liveSrv.Addr())
+	}
+
 	if o.faults != "" {
 		if o.listen != "" {
 			fatal(fmt.Errorf("-faults applies to the writer side; use it with -connect or in local mode"))
@@ -137,6 +160,12 @@ func main() {
 		runConnect(o)
 	default:
 		runLocal(o)
+	}
+	if o.liveSrv != nil {
+		if err := o.liveSrv.Close(); err != nil {
+			fatal(err)
+		}
+		o.liveHub.Close()
 	}
 }
 
@@ -275,6 +304,7 @@ func workloadConfigure(o options, hist **analysis.Histogram) func(b *core.Bridge
 				Width: 480, Height: 270,
 				SliceAxis: 2, SliceCoord: float64(o.cells) / 2,
 				OutputDir: o.outdir,
+				Hub:       o.liveHub,
 			})
 			a.Registry = b.Registry
 			b.AddAnalysis("catalyst", a)
@@ -322,6 +352,10 @@ func report(o options, f *adios.Fabric, res *adios.EndpointResult, hist *analysi
 	// The bytes-on-wire odometer: logical vs wire data bytes shows what the
 	// negotiated codec or extract bought.
 	fmt.Printf("fabric: %s\n", f.Stats().Summary())
+	if o.liveHub != nil {
+		fmt.Printf("live: %d frames published, %d viewers attached at exit\n",
+			o.liveHub.Frames(), o.liveHub.Viewers())
+	}
 	if hist != nil && hist.Last != nil {
 		fmt.Printf("final histogram (step %d, range [%.3f, %.3f]):\n", hist.Last.Step, hist.Last.Min, hist.Last.Max)
 		for i, c := range hist.Last.Counts {

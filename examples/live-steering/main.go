@@ -41,19 +41,24 @@ func main() {
 	viewer.Add(1)
 	go func() {
 		defer viewer.Done()
-		frames, cancel := hub.Subscribe()
-		defer cancel()
+		sub := hub.SubscribeRef()
+		defer sub.Cancel()
 		seen := 0
-		for f := range frames {
+		for {
+			// Next blocks for the next frame, newest wins if the viewer
+			// lags, and returns nil once the hub closes — so the viewer
+			// always terminates with the simulation, frames dropped or not.
+			ref := sub.Next()
+			if ref == nil {
+				return
+			}
 			seen++
-			fmt.Printf("viewer: frame for step %d (%d bytes PNG)\n", f.Step, len(f.PNG))
+			fmt.Printf("viewer: frame for step %d (%d bytes PNG)\n", ref.Step(), len(ref.PNG()))
+			ref.Release()
 			if seen == 3 {
 				fmt.Println("viewer: steering -> jet amplitude 1.8, frequency 1.2")
 				hub.SendCommand("jet-amplitude", 1.8)
 				hub.SendCommand("jet-frequency", 1.2)
-			}
-			if seen == steps {
-				return
 			}
 		}
 	}()
@@ -127,6 +132,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	hub.Close() // simulation over: detach the viewer
 	viewer.Wait()
 	fmt.Printf("hub delivered %d frames; images also in live-frames/\n", hub.Frames())
 }

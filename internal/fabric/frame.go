@@ -96,6 +96,30 @@ func AppendFrame(dst []byte, typ FrameType, seq uint32, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// FrameOverhead is the framing cost prepended to every payload: the
+// length/type/seq/CRC header SealFrame fills in.
+const FrameOverhead = frameHeaderSize
+
+// SealFrame writes the frame header for a payload built in place. The
+// caller reserves FrameOverhead bytes at the front of buf, appends the
+// payload after them, and seals once — the zero-copy alternative to
+// AppendFrame for fan-out paths that encode one immutable frame and write
+// it to many connections. buf[FrameOverhead:] is the payload; the sealed
+// buf is exactly what AppendFrame(nil, typ, seq, payload) would produce.
+func SealFrame(buf []byte, typ FrameType, seq uint32) {
+	if len(buf) < frameHeaderSize {
+		panic("fabric: SealFrame buffer smaller than the reserved header")
+	}
+	le := binary.LittleEndian
+	payload := buf[frameHeaderSize:]
+	le.PutUint32(buf[0:4], uint32(len(payload)))
+	buf[4] = byte(typ)
+	le.PutUint32(buf[5:9], seq)
+	crc := crc32.ChecksumIEEE(buf[4:9])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	le.PutUint32(buf[9:13], crc)
+}
+
 // FrameReader decodes frames from a byte stream, reusing one payload
 // buffer across calls. It never allocates more than maxPayload bytes and
 // never trusts the claimed length further than the bytes that actually

@@ -106,6 +106,7 @@ func DefaultConfig() *Config {
 			m + "/cmd/posthoc",
 			m + "/cmd/endpoint",
 			m + "/cmd/gosensei-run",
+			m + "/cmd/live-load",
 		},
 		MPIPkg:      m + "/internal/mpi",
 		RenderPkg:   m + "/internal/render",

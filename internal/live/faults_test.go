@@ -1,0 +1,168 @@
+package live
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"gosensei/internal/fabric"
+	"gosensei/internal/faultline"
+)
+
+// liveSession drives one deterministic publish/steer session: a hub serving
+// `viewers` wire viewers over loopback, lockstep so every live viewer
+// receives every step. The publisher folds drained steering commands into
+// each step's payload, so the "simulation output" (the published byte
+// stream) witnesses the whole steering loop. Viewer ranks with a faultline
+// plan get their conns wrapped; a viewer whose conn is killed mid-session
+// simply stops appearing in its stream.
+type liveSession struct {
+	published []string   // payload per step, the sim's output
+	streams   [][]string // per-viewer received payloads, in arrival order
+	died      []bool     // per-viewer: conn dead before the session ended
+}
+
+func runLiveSession(t *testing.T, name string, steps, viewers int, plan *faultline.FabricPlan) liveSession {
+	t.Helper()
+	hub := NewHub()
+	defer hub.Close()
+	lis, err := fabric.Listen("loopback", name)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := Serve(lis, hub)
+	defer func() { _ = srv.Close() }()
+
+	vs := make([]*Viewer, viewers)
+	for i := range vs {
+		rank := i
+		v, err := DialViewerWith("loopback", name, ViewerOptions{
+			WrapConn: func(c fabric.Conn) fabric.Conn { return plan.WrapConn(rank, c) },
+		})
+		if err != nil {
+			t.Fatalf("dial viewer %d: %v", i, err)
+		}
+		defer func() { _ = v.Close() }()
+		vs[i] = v
+	}
+
+	s := liveSession{streams: make([][]string, viewers), died: make([]bool, viewers)}
+	for step := 0; step < steps; step++ {
+		// The sim applies pending steering before rendering the step.
+		payload := pseudoPNG(step, 48)
+		for _, cmd := range hub.DrainCommands() {
+			payload = append(payload, []byte(cmd.Name)...)
+			payload = binary.LittleEndian.AppendUint64(payload, uint64(cmd.Value*1000))
+		}
+		s.published = append(s.published, string(payload))
+		hub.Publish(Frame{Step: step, Width: 8, Height: 6, PNG: payload})
+
+		for i, v := range vs {
+			if s.died[i] {
+				continue
+			}
+			f, ok := v.Next(10 * time.Second)
+			if !ok {
+				s.died[i] = true
+				continue
+			}
+			if f.Step != step {
+				t.Fatalf("viewer %d: lockstep broke at step %d (got %d)", i, step, f.Step)
+			}
+			s.streams[i] = append(s.streams[i], string(f.PNG))
+		}
+
+		// Viewer 0 steers after step 2's frame; the command must land in
+		// exactly step 3's payload for both runs to compare equal.
+		if step == 2 {
+			if err := vs[0].Steer("jet-amplitude", 1.5); err != nil {
+				t.Fatalf("steer: %v", err)
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for hub.PendingCommands() == 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("steering command never reached the hub")
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	return s
+}
+
+// TestViewerKillMetamorphic is the fault-injection acceptance test: killing
+// one viewer's connection mid-session must leave every other viewer's frame
+// stream and the simulation's published output bit-identical to the
+// fault-free run. The live layer is a pure observer — a dying observer
+// cannot perturb the observed.
+func TestViewerKillMetamorphic(t *testing.T) {
+	const steps = 8
+	const viewers = 3
+	const victim = 1
+
+	clean := runLiveSession(t, t.Name()+"-clean", steps, viewers, nil)
+	for i, died := range clean.died {
+		if died {
+			t.Fatalf("clean run: viewer %d died without a fault", i)
+		}
+	}
+
+	// The victim's conn writes are: 1 = Hello, then one credit release per
+	// received frame. write=4 kills the release after its third frame, so
+	// the victim dies mid-session with steps still to publish.
+	sched, err := faultline.Parse(fmt.Sprintf("7:fabric.kill(rank=%d,write=4)", victim))
+	if err != nil {
+		t.Fatalf("parse schedule: %v", err)
+	}
+	run := sched.Start()
+	faulty := runLiveSession(t, t.Name()+"-fault", steps, viewers, run.FabricPlan())
+
+	if !faulty.died[victim] {
+		t.Fatalf("victim viewer %d survived the kill", victim)
+	}
+	trace := strings.Join(run.TraceLines(), "\n")
+	if !strings.Contains(trace, "fabric.kill") {
+		t.Fatalf("kill never fired; trace:\n%s", trace)
+	}
+
+	// The sim's output is bit-identical: same payloads, same steering fold.
+	if len(faulty.published) != len(clean.published) {
+		t.Fatalf("published %d steps under fault, want %d", len(faulty.published), len(clean.published))
+	}
+	for s := range clean.published {
+		if !bytes.Equal([]byte(clean.published[s]), []byte(faulty.published[s])) {
+			t.Fatalf("published payload diverged at step %d under viewer kill", s)
+		}
+	}
+
+	// Every surviving viewer's stream is bit-identical to its clean run.
+	for i := 0; i < viewers; i++ {
+		if i == victim {
+			continue
+		}
+		if faulty.died[i] {
+			t.Fatalf("non-victim viewer %d died", i)
+		}
+		if len(faulty.streams[i]) != len(clean.streams[i]) {
+			t.Fatalf("viewer %d: %d frames under fault, want %d", i, len(faulty.streams[i]), len(clean.streams[i]))
+		}
+		for s := range clean.streams[i] {
+			if clean.streams[i][s] != faulty.streams[i][s] {
+				t.Fatalf("viewer %d: frame %d diverged under viewer kill", i, s)
+			}
+		}
+	}
+
+	// The victim received a strict prefix, then stopped.
+	if got := len(faulty.streams[victim]); got == 0 || got >= steps {
+		t.Fatalf("victim received %d frames, want a proper mid-session prefix of %d", got, steps)
+	}
+	for s, payload := range faulty.streams[victim] {
+		if payload != clean.published[s] {
+			t.Fatalf("victim's prefix diverged at step %d", s)
+		}
+	}
+}

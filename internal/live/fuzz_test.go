@@ -1,0 +1,44 @@
+package live
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFramePayloadDecode hardens the wire decoder against adversarial
+// payloads: no panic, no allocation beyond the input's own length, and an
+// exact re-encode round trip for everything it accepts (the decoder is a
+// bijection on its accepted set — required for the byte-identical fan-out
+// guarantee).
+func FuzzFramePayloadDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("short"))
+	f.Add(appendFramePayload(nil, Frame{Step: 7, Width: 32, Height: 16, PNG: []byte("png bytes")}))
+	f.Add(appendFramePayload(nil, Frame{Step: -1, Width: 0, Height: 0, PNG: nil}))
+	f.Add(bytes.Repeat([]byte{0xff}, framePayloadHeader))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		fr, err := decodeFramePayload(payload)
+		if err != nil {
+			if len(payload) >= framePayloadHeader {
+				t.Fatalf("well-sized payload rejected: %v", err)
+			}
+			return
+		}
+		if got, want := len(fr.PNG), len(payload)-framePayloadHeader; got != want {
+			t.Fatalf("decoded %d PNG bytes from a %d-byte payload, want %d", got, len(payload), want)
+		}
+		// The decoded frame must not alias the input: corrupting the input
+		// afterwards (a reused read buffer) must not reach the frame.
+		if len(fr.PNG) > 0 {
+			saved := fr.PNG[0]
+			payload[framePayloadHeader] ^= 0xa5
+			if fr.PNG[0] != saved {
+				t.Fatal("decoded PNG aliases the wire buffer")
+			}
+			payload[framePayloadHeader] ^= 0xa5
+		}
+		if enc := appendFramePayload(nil, fr); !bytes.Equal(enc, payload) {
+			t.Fatalf("re-encode diverged:\n in %x\nout %x", payload, enc)
+		}
+	})
+}

@@ -2,8 +2,10 @@ package live_test
 
 import (
 	"bytes"
+	"fmt"
 	"image/png"
 	"testing"
+	"time"
 
 	"gosensei/internal/catalyst"
 	"gosensei/internal/core"
@@ -46,27 +48,57 @@ func TestHubLatestAndSubscribe(t *testing.T) {
 	}
 }
 
-func TestHubLaggingViewerDropsFrames(t *testing.T) {
+func TestHubLaggingViewerSkipsToNewest(t *testing.T) {
 	h := NewHub()
-	ch, cancel := h.Subscribe()
-	defer cancel()
-	// Publish more than the buffer without draining: no deadlock, newest
-	// retained as Latest.
+	defer h.Close()
+	sub := h.SubscribeRef()
+	defer sub.Cancel()
+	// Publish a burst without draining: no deadlock, newest retained as
+	// Latest, and the lagging viewer converges on the newest frame (it may
+	// skip intermediate ones — that is the point).
 	for i := 0; i < 5; i++ {
-		h.Publish(Frame{Step: i})
+		h.Publish(Frame{Step: i, PNG: []byte{byte(i)}})
 	}
 	f, ok := h.Latest()
 	if !ok || f.Step != 4 {
 		t.Fatalf("latest=%+v", f)
 	}
-	first := <-ch
-	if first.Step != 0 {
-		t.Fatalf("buffered frame step=%d", first.Step)
+	seen := -1
+	deadline := time.Now().Add(5 * time.Second)
+	for seen != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("viewer never saw the newest frame; last step %d", seen)
+		}
+		if ref := sub.Take(); ref != nil {
+			if ref.Step() < seen {
+				t.Fatalf("delivery went backwards: %d after %d", ref.Step(), seen)
+			}
+			seen = ref.Step()
+			ref.Release()
+		} else {
+			time.Sleep(time.Millisecond)
+		}
 	}
+}
+
+func TestLateJoinerSeededFromSnapshot(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	h.Publish(Frame{Step: 7, Width: 2, Height: 1, PNG: []byte{1, 2, 3}})
+	// Attach after the publish: the snapshot cache must hand the current
+	// frame over immediately, not at the next publish.
+	sub := h.SubscribeRef()
+	defer sub.Cancel()
+	ref := sub.Next()
+	if ref == nil || ref.Step() != 7 || len(ref.PNG()) != 3 {
+		t.Fatalf("late joiner got %+v", ref)
+	}
+	ref.Release()
 }
 
 func TestCommandsRoundTrip(t *testing.T) {
 	h := NewHub()
+	defer h.Close()
 	h.SendCommand("jet-amplitude", 1.6)
 	h.SendCommand("jet-frequency", 1.5)
 	cmds := h.DrainCommands()
@@ -78,11 +110,64 @@ func TestCommandsRoundTrip(t *testing.T) {
 	}
 	names, values := EncodeCommands(cmds)
 	back, err := DecodeCommands(names, values)
-	if err != nil || len(back) != 2 || back[0] != cmds[0] {
+	if err != nil || len(back) != 2 || back[0].Name != cmds[0].Name || back[0].Value != cmds[0].Value {
 		t.Fatalf("decode=%v err=%v", back, err)
 	}
 	if _, err := DecodeCommands([]string{"a"}, nil); err == nil {
 		t.Fatal("mismatched decode accepted")
+	}
+}
+
+func TestCommandsCoalesceLastWriterWins(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	// A steer flood on one name coalesces to the newest value; a second
+	// name is preserved independently, and drain order is update order.
+	for i := 0; i < 1000; i++ {
+		h.SendCommand("jet-amplitude", float64(i))
+	}
+	h.SendCommand("jet-frequency", 2.5)
+	h.SendCommand("jet-amplitude", 42)
+	if n := h.PendingCommands(); n != 2 {
+		t.Fatalf("pending=%d, want 2 (coalesced)", n)
+	}
+	cmds := h.DrainCommands()
+	if len(cmds) != 2 {
+		t.Fatalf("cmds=%+v", cmds)
+	}
+	// jet-amplitude was refreshed last, so it drains last.
+	if cmds[0].Name != "jet-frequency" || cmds[0].Value != 2.5 {
+		t.Fatalf("cmds[0]=%+v", cmds[0])
+	}
+	if cmds[1].Name != "jet-amplitude" || cmds[1].Value != 42 {
+		t.Fatalf("cmds[1]=%+v", cmds[1])
+	}
+	if cmds[0].Epoch >= cmds[1].Epoch {
+		t.Fatalf("epochs not ascending: %d then %d", cmds[0].Epoch, cmds[1].Epoch)
+	}
+}
+
+func TestCommandTableBounded(t *testing.T) {
+	h := NewHubWith(Options{MaxPendingCommands: 8})
+	defer h.Close()
+	// A flood of distinct names between drains must not grow memory
+	// without bound: the table caps at MaxPendingCommands, evicting the
+	// stalest entries.
+	for i := 0; i < 10000; i++ {
+		h.SendCommand(fmt.Sprintf("cmd-%d", i), float64(i))
+	}
+	if n := h.PendingCommands(); n != 8 {
+		t.Fatalf("pending=%d, want cap 8", n)
+	}
+	cmds := h.DrainCommands()
+	if len(cmds) != 8 {
+		t.Fatalf("drained %d, want 8", len(cmds))
+	}
+	// The survivors are the newest 8, in update order.
+	for i, c := range cmds {
+		if want := fmt.Sprintf("cmd-%d", 9992+i); c.Name != want {
+			t.Fatalf("cmds[%d]=%+v, want name %s", i, c, want)
+		}
 	}
 }
 

@@ -1,9 +1,9 @@
 package live
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gosensei/internal/fabric"
@@ -14,56 +14,70 @@ import (
 // (or loopback in tests), receive rendered frames, and push steering
 // commands back — the ParaView-Live/VisIt pattern with a real socket
 // underneath. Viewers handshake with RoleViewer; frames ride FrameData,
-// steering rides FrameSteer, and heartbeats keep half-dead viewers from
-// lingering.
+// steering rides FrameSteer, heartbeats keep half-dead viewers from
+// lingering, and FrameRelease carries the per-viewer credit flow:
+//
+//   - The Welcome grants each viewer a credit budget (ServeOptions.Credits).
+//     Every frame the server sends consumes one; the viewer's receive pump
+//     returns them by sending FrameRelease with its cumulative received
+//     count once a frame has crossed the wire.
+//   - A viewer whose connection stops draining exhausts its credits and is
+//     simply skipped: its subscription slot keeps tracking the newest
+//     frame, and the moment credits return it resumes from there. A slow
+//     TCP viewer therefore costs the server nothing per publish — no
+//     10-second write-deadline stall per frame, no queue growth.
+//   - The frame bytes a viewer receives are the hub's sealed wire buffer
+//     (FrameRef.Wire()), encoded once per publish and written verbatim to
+//     every connection: the fan-out path copies nothing per viewer.
 
-// frame payload layout (little-endian): uint64 step, uint32 width,
-// uint32 height, then the PNG bytes.
-const framePayloadHeader = 8 + 4 + 4
+// writeDeadline bounds every wire write as a backstop; credit exhaustion,
+// not this deadline, is what handles slow viewers.
+const writeDeadline = 10 * time.Second
 
-// appendFramePayload encodes one published frame for the wire.
-func appendFramePayload(dst []byte, f Frame) []byte {
-	var hdr [framePayloadHeader]byte
-	le := binary.LittleEndian
-	le.PutUint64(hdr[0:8], uint64(int64(f.Step)))
-	le.PutUint32(hdr[8:12], uint32(f.Width))
-	le.PutUint32(hdr[12:16], uint32(f.Height))
-	dst = append(dst, hdr[:]...)
-	return append(dst, f.PNG...)
+// ServeOptions tunes the wire side of a hub; the zero value selects the
+// defaults.
+type ServeOptions struct {
+	// Credits is the per-viewer in-flight frame budget granted in the
+	// Welcome. Default 2: one frame crossing the wire while the next is
+	// queued behind it.
+	Credits int
+	// Stats receives the server-side wire counters; nil allocates a
+	// private set.
+	Stats *fabric.Stats
 }
 
-// decodeFramePayload reverses appendFramePayload, copying the PNG bytes
-// out of the wire buffer.
-func decodeFramePayload(p []byte) (Frame, error) {
-	if len(p) < framePayloadHeader {
-		return Frame{}, fmt.Errorf("live: frame payload too short (%d bytes)", len(p))
-	}
-	le := binary.LittleEndian
-	return Frame{
-		Step:   int(int64(le.Uint64(p[0:8]))),
-		Width:  int(le.Uint32(p[8:12])),
-		Height: int(le.Uint32(p[12:16])),
-		PNG:    append([]byte(nil), p[framePayloadHeader:]...),
-	}, nil
-}
+const defaultViewerCredits = 2
 
 // Server accepts viewer connections on a fabric listener and bridges them
 // to a Hub: every frame the pipeline publishes is pushed to each attached
-// viewer (newest-wins on lag, as Hub.Subscribe provides), and steering
-// commands from viewers land in the hub's queue for the simulation's next
-// DrainCommands.
+// viewer (newest-wins on lag, credit-bounded on the wire), a late joiner is
+// seeded from the hub's snapshot cache immediately on attach, and steering
+// commands from viewers land in the hub's coalesced table for the
+// simulation's next DrainCommands.
 type Server struct {
-	hub   *Hub
-	lis   fabric.Listener
-	stats *fabric.Stats
+	hub     *Hub
+	lis     fabric.Listener
+	stats   *fabric.Stats
+	credits int
 
 	mu     sync.Mutex
 	closed bool
 }
 
-// Serve starts accepting viewers on lis.
+// Serve starts accepting viewers on lis with default options.
 func Serve(lis fabric.Listener, hub *Hub) *Server {
-	s := &Server{hub: hub, lis: lis, stats: &fabric.Stats{}}
+	return ServeWith(lis, hub, ServeOptions{})
+}
+
+// ServeWith starts accepting viewers on lis, tuned by o.
+func ServeWith(lis fabric.Listener, hub *Hub, o ServeOptions) *Server {
+	if o.Credits <= 0 {
+		o.Credits = defaultViewerCredits
+	}
+	if o.Stats == nil {
+		o.Stats = &fabric.Stats{}
+	}
+	s := &Server{hub: hub, lis: lis, stats: o.Stats, credits: o.Credits}
 	go s.acceptLoop()
 	return s
 }
@@ -97,50 +111,81 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serve drives one viewer connection: frames out, steering in.
+// serve drives one viewer connection: frames out under credit flow,
+// steering and releases in.
 func (s *Server) serve(conn fabric.Conn) {
 	hello, fr, err := fabric.AcceptHello(conn)
 	if err != nil || hello.Role != fabric.RoleViewer {
 		_ = conn.Close()
 		return
 	}
-	if err := fabric.SendWelcome(conn, fabric.Welcome{Credits: 1}, hello.Version); err != nil {
+	if err := fabric.SendWelcome(conn, fabric.Welcome{Credits: uint32(s.credits)}, hello.Version); err != nil {
 		_ = conn.Close()
 		return
 	}
-	frames, cancel := s.hub.Subscribe()
-	defer cancel()
+	// Attach on the zero-copy path: the subscription is seeded from the
+	// snapshot cache, so the pusher's first write is the current frame —
+	// a late joiner sees an image immediately, not at the next publish.
+	sub := s.hub.SubscribeRef()
+	defer sub.Cancel()
 
 	// Writes come from two places — the frame pusher and heartbeat acks —
-	// so they share a lock and a scratch buffer.
+	// so they share a lock; control frames share a scratch buffer, data
+	// frames are the hub's sealed buffers written verbatim.
 	var wmu sync.Mutex
 	var scratch []byte
-	writeFrame := func(typ fabric.FrameType, seq uint32, payload []byte) error {
+	writeWire := func(frame []byte) error {
+		if err := conn.SetWriteDeadline(time.Now().Add(writeDeadline)); err != nil {
+			return err
+		}
+		if _, err := conn.Write(frame); err != nil {
+			return err
+		}
+		s.stats.CountOut(len(frame))
+		return nil
+	}
+	writeCtl := func(typ fabric.FrameType, seq uint32, payload []byte) error {
 		wmu.Lock()
 		defer wmu.Unlock()
 		scratch = fabric.AppendFrame(scratch[:0], typ, seq, payload)
-		if err := conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
-			return err
-		}
 		//lint:ignore lock-blocking wmu exists only to serialize this deadline-bounded write between the frame pusher and heartbeat acks; no state lives under it, so a slow viewer stalls at most the other writer for 10s (DESIGN.md §4.7)
-		if _, err := conn.Write(scratch); err != nil {
-			return err
-		}
-		s.stats.CountOut(len(scratch))
-		return nil
+		return writeWire(scratch)
 	}
 
+	// The credit ledger: sent is pusher-local, released is the cumulative
+	// count the viewer's FrameRelease frames carry back. The pusher sends
+	// only while sent-released < credits, so a viewer that stops draining
+	// is skipped (its slot keeps the newest frame) instead of stalling a
+	// write until the deadline.
+	var released atomic.Uint32
+	creditCh := make(chan struct{}, 1)
+	stop := make(chan struct{})
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		var seq uint32
-		var payload []byte
-		for f := range frames {
-			seq++
-			payload = appendFramePayload(payload[:0], f)
-			if err := writeFrame(fabric.FrameData, seq, payload); err != nil {
-				_ = conn.Close()
+		var sent uint32
+		for {
+			select {
+			case <-stop:
 				return
+			case <-sub.Ready():
+			case <-creditCh:
+			}
+			for sent-released.Load() < uint32(s.credits) {
+				ref := sub.Take()
+				if ref == nil {
+					break
+				}
+				wmu.Lock()
+				//lint:ignore lock-blocking wmu exists only to serialize this deadline-bounded write between the frame pusher and heartbeat acks; no state lives under it, so a slow viewer stalls at most the other writer for 10s (DESIGN.md §4.7)
+				werr := writeWire(ref.Wire())
+				wmu.Unlock()
+				ref.Release()
+				if werr != nil {
+					_ = conn.Close()
+					return
+				}
+				sent++
 			}
 		}
 	}()
@@ -158,20 +203,37 @@ func (s *Server) serve(conn fabric.Conn) {
 				continue
 			}
 			s.hub.SendCommand(name, value)
+		case fabric.FrameRelease:
+			// Cumulative, monotonic: stale or reordered releases are no-ops.
+			if seq > released.Load() {
+				released.Store(seq)
+				select {
+				case creditCh <- struct{}{}:
+				default:
+				}
+			}
 		case fabric.FrameHeartbeat:
-			if writeFrame(fabric.FrameHeartbeatAck, seq, payload) != nil {
+			if writeCtl(fabric.FrameHeartbeatAck, seq, payload) != nil {
 				_ = conn.Close()
 			}
 		}
 	}
 	_ = conn.Close()
-	cancel() // unblocks the pusher's range before we wait on it
+	close(stop)
 	<-done
 }
 
-// Viewer is the remote end of a live connection: frames arrive on Frames,
-// steering goes back with Steer — from a different OS process than the
-// simulation when dialed over TCP.
+// ViewerOptions tunes DialViewerWith.
+type ViewerOptions struct {
+	// WrapConn, when non-nil, decorates the dialed connection before the
+	// handshake — the faultline seam for injecting wire faults into a live
+	// viewer session.
+	WrapConn func(fabric.Conn) fabric.Conn
+}
+
+// Viewer is the remote end of a live connection: frames arrive on the
+// newest-wins Next/Frames APIs, steering goes back with Steer — from a
+// different OS process than the simulation when dialed over TCP.
 type Viewer struct {
 	conn fabric.Conn
 
@@ -186,28 +248,119 @@ type Viewer struct {
 	wmu     sync.Mutex
 	scratch []byte
 
-	frames chan Frame
+	// The client-side newest-wins slot: the receive pump never blocks on a
+	// slow consumer — it replaces the undelivered frame and keeps
+	// draining the wire, so the connection (and its credit flow) stays
+	// live no matter what the application does with Frames.
+	slot atomic.Pointer[Frame]
+	rdy  chan struct{} // cap 1: set when the slot is filled
+	done chan struct{} // closed when the receive pump exits
+
+	recvd    atomic.Uint64
+	granted  uint32
+	onceChan sync.Once
+	frames   chan Frame
 }
 
 // DialViewer attaches to a live server.
 func DialViewer(network, addr string) (*Viewer, error) {
+	return DialViewerWith(network, addr, ViewerOptions{})
+}
+
+// DialViewerWith attaches to a live server with options.
+func DialViewerWith(network, addr string, o ViewerOptions) (*Viewer, error) {
 	conn, err := fabric.Dial(network, addr)
 	if err != nil {
 		return nil, err
 	}
-	_, fr, err := fabric.DialHello(conn, fabric.Hello{Role: fabric.RoleViewer})
+	if o.WrapConn != nil {
+		conn = o.WrapConn(conn)
+	}
+	w, fr, err := fabric.DialHello(conn, fabric.Hello{Role: fabric.RoleViewer})
 	if err != nil {
 		_ = conn.Close()
 		return nil, err
 	}
-	v := &Viewer{conn: conn, frames: make(chan Frame, 16)}
+	v := &Viewer{
+		conn:    conn,
+		rdy:     make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		granted: w.Credits,
+	}
 	go v.recvPump(fr)
 	return v, nil
 }
 
-// Frames returns the stream of rendered frames. The channel closes when
-// the connection drops or Close is called.
-func (v *Viewer) Frames() <-chan Frame { return v.frames }
+// Credits reports the in-flight frame budget the server granted.
+func (v *Viewer) Credits() int { return int(v.granted) }
+
+// Received reports how many frames the receive pump has taken off the
+// wire (delivered to the slot or superseded there).
+func (v *Viewer) Received() uint64 { return v.recvd.Load() }
+
+// Done is closed when the connection drops or Close is called.
+func (v *Viewer) Done() <-chan struct{} { return v.done }
+
+// Next blocks until a frame is available (newest-wins: intervening frames
+// the caller was too slow for are skipped), the viewer closes (ok=false),
+// or the timeout elapses (ok=false; timeout <= 0 waits forever).
+func (v *Viewer) Next(timeout time.Duration) (Frame, bool) {
+	var expired <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expired = t.C
+	}
+	for {
+		if f := v.slot.Swap(nil); f != nil {
+			return *f, true
+		}
+		select {
+		case <-v.rdy:
+		case <-v.done:
+			// The pump may have slotted a final frame before exiting.
+			if f := v.slot.Swap(nil); f != nil {
+				return *f, true
+			}
+			return Frame{}, false
+		case <-expired:
+			return Frame{}, false
+		}
+	}
+}
+
+// Frames returns the stream of rendered frames as a channel (newest-wins:
+// a lagging consumer observes the most recent frames, not a backlog). The
+// channel closes when the connection drops or Close is called.
+func (v *Viewer) Frames() <-chan Frame {
+	v.onceChan.Do(func() {
+		v.frames = make(chan Frame, 1)
+		go func() {
+			defer close(v.frames)
+			for {
+				f, ok := v.Next(0)
+				if !ok {
+					return
+				}
+				select {
+				case v.frames <- f:
+				default:
+					// Consumer lagging: replace the stale buffered frame
+					// with this newer one.
+					select {
+					case <-v.frames:
+					default:
+					}
+					select {
+					case v.frames <- f:
+					default:
+					}
+				}
+			}
+		}()
+	})
+	return v.frames
+}
 
 // Steer sends one steering command to the simulation.
 func (v *Viewer) Steer(name string, value float64) error {
@@ -221,11 +374,25 @@ func (v *Viewer) Steer(name string, value float64) error {
 	defer v.wmu.Unlock()
 	v.scratch = fabric.AppendFrame(v.scratch[:0], fabric.FrameSteer, 0,
 		fabric.AppendSteerPayload(nil, name, value))
-	if err := v.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+	if err := v.conn.SetWriteDeadline(time.Now().Add(writeDeadline)); err != nil {
 		return err
 	}
 	// A concurrent Close between the check above and here just makes this
 	// write fail with ErrClosed, which is the correct answer for the caller.
+	//lint:ignore lock-blocking v.wmu is the dedicated write-serialization lock; the write is deadline-bounded (10s) and Close never takes wmu, so a stalled peer cannot wedge the viewer (DESIGN.md §4.7)
+	_, err := v.conn.Write(v.scratch)
+	return err
+}
+
+// sendRelease returns credits to the server: recvd is the cumulative count
+// of frames the pump has taken off the wire.
+func (v *Viewer) sendRelease(recvd uint32) error {
+	v.wmu.Lock()
+	defer v.wmu.Unlock()
+	v.scratch = fabric.AppendFrame(v.scratch[:0], fabric.FrameRelease, recvd, nil)
+	if err := v.conn.SetWriteDeadline(time.Now().Add(writeDeadline)); err != nil {
+		return err
+	}
 	//lint:ignore lock-blocking v.wmu is the dedicated write-serialization lock; the write is deadline-bounded (10s) and Close never takes wmu, so a stalled peer cannot wedge the viewer (DESIGN.md §4.7)
 	_, err := v.conn.Write(v.scratch)
 	return err
@@ -242,8 +409,12 @@ func (v *Viewer) Close() error {
 	return v.conn.Close()
 }
 
+// recvPump drains the wire. It never blocks on the consumer: each decoded
+// frame replaces the slot (newest-wins) and its credit is returned
+// immediately, so a viewer whose application stops reading still keeps its
+// connection — and every other viewer's — healthy.
 func (v *Viewer) recvPump(fr *fabric.FrameReader) {
-	defer close(v.frames)
+	defer close(v.done)
 	for {
 		typ, _, payload, err := fr.Next()
 		if err != nil {
@@ -256,6 +427,14 @@ func (v *Viewer) recvPump(fr *fabric.FrameReader) {
 		if err != nil {
 			return
 		}
-		v.frames <- f
+		n := v.recvd.Add(1)
+		v.slot.Store(&f)
+		select {
+		case v.rdy <- struct{}{}:
+		default:
+		}
+		// The frame crossed the wire: return its credit. A failed write
+		// means the connection is dying; the read above will surface it.
+		_ = v.sendRelease(uint32(n))
 	}
 }

@@ -88,3 +88,186 @@ func TestServeViewerOverWire(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// A viewer that attaches after frames were published must receive the
+// current frame immediately from the snapshot cache — the seed hub made a
+// wire viewer wait for the next publish.
+func TestLateWireViewerGetsSnapshot(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	lis, err := fabric.Listen("loopback", t.Name())
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := Serve(lis, hub)
+	defer func() { _ = srv.Close() }()
+
+	hub.Publish(Frame{Step: 11, Width: 3, Height: 1, PNG: []byte("snapshot")})
+	v, err := DialViewer("loopback", t.Name())
+	if err != nil {
+		t.Fatalf("dial viewer: %v", err)
+	}
+	defer func() { _ = v.Close() }()
+	f, ok := v.Next(5 * time.Second)
+	if !ok || f.Step != 11 || !bytes.Equal(f.PNG, []byte("snapshot")) {
+		t.Fatalf("snapshot frame=%+v ok=%v", f, ok)
+	}
+}
+
+// Regression for the blocking recv pump (the seed's `v.frames <- f`): an
+// application that never reads frames must not wedge the pump — the wire
+// keeps draining, credits keep flowing, and when the application finally
+// looks it sees the newest frame, not a 16-deep backlog's head.
+func TestViewerRecvPumpNewestWins(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	lis, err := fabric.Listen("loopback", t.Name())
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := Serve(lis, hub)
+	defer func() { _ = srv.Close() }()
+
+	v, err := DialViewer("loopback", t.Name())
+	if err != nil {
+		t.Fatalf("dial viewer: %v", err)
+	}
+	defer func() { _ = v.Close() }()
+
+	// Publish until the pump has taken well past the seed's 16-frame
+	// channel capacity off the wire, without the application reading once.
+	deadline := time.Now().Add(10 * time.Second)
+	step := 0
+	for v.Received() < 40 {
+		if time.Now().After(deadline) {
+			t.Fatalf("recv pump wedged: only %d frames received", v.Received())
+		}
+		hub.Publish(Frame{Step: step, PNG: []byte{byte(step)}})
+		step++
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	// Now the application reads: it must converge on the newest frame.
+	final := Frame{Step: 1 << 20, PNG: []byte("newest")}
+	hub.Publish(final)
+	for {
+		f, ok := v.Next(5 * time.Second)
+		if !ok {
+			t.Fatalf("viewer closed before the newest frame arrived")
+		}
+		if f.Step == final.Step {
+			if !bytes.Equal(f.PNG, final.PNG) {
+				t.Fatalf("newest frame bytes mangled: %q", f.PNG)
+			}
+			break
+		}
+	}
+}
+
+// A viewer that withholds credit releases (a stalled TCP peer) is skipped:
+// the server sends at most its credit budget, the publish path never
+// stalls, and when credits return the viewer resumes at the newest frame —
+// not at the head of a backlog.
+func TestSlowViewerCreditSkipToNewest(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	lis, err := fabric.Listen("loopback", t.Name())
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	const credits = 2
+	srv := ServeWith(lis, hub, ServeOptions{Credits: credits})
+	defer func() { _ = srv.Close() }()
+
+	// A raw protocol-level viewer that reads frames but never releases.
+	conn, err := fabric.Dial("loopback", t.Name())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = conn.Close() }()
+	w, fr, err := fabric.DialHello(conn, fabric.Hello{Role: fabric.RoleViewer})
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	if w.Credits != credits {
+		t.Fatalf("granted credits=%d, want %d", w.Credits, credits)
+	}
+
+	// Publish a burst; the publish path must complete instantly regardless
+	// of the stalled viewer.
+	const steps = 50
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		hub.Publish(Frame{Step: i, PNG: []byte{byte(i)}})
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("publish burst stalled behind a credit-starved viewer: %s", elapsed)
+	}
+
+	// The server sends at most `credits` frames before the first release.
+	got := 0
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond)); err != nil {
+			t.Fatalf("deadline: %v", err)
+		}
+		typ, _, payload, err := fr.Next()
+		if err != nil {
+			break // deadline: no more frames — credits exhausted
+		}
+		if typ != fabric.FrameData {
+			continue
+		}
+		f, err := decodeFramePayload(payload)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		got++
+		if got > credits {
+			t.Fatalf("stalled viewer got frame %d beyond its %d credits (step %d)", got, credits, f.Step)
+		}
+	}
+	if got == 0 {
+		t.Fatal("stalled viewer got no frames at all")
+	}
+
+	// Returning the credits resumes delivery at the newest frame: after the
+	// release (and a fresh publish) the viewer sees only the newest frames —
+	// never the steps it skipped while stalled.
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatalf("clear deadline: %v", err)
+	}
+	released := got
+	rel := fabric.AppendFrame(nil, fabric.FrameRelease, uint32(released), nil)
+	if _, err := conn.Write(rel); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	const finalStep = 1 << 20
+	hub.Publish(Frame{Step: finalStep, PNG: []byte("final")})
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatalf("deadline: %v", err)
+	}
+	for {
+		typ, _, payload, err := fr.Next()
+		if err != nil {
+			t.Fatalf("no frame after credit release: %v", err)
+		}
+		if typ != fabric.FrameData {
+			continue
+		}
+		f, err := decodeFramePayload(payload)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if f.Step != steps-1 && f.Step != finalStep {
+			t.Fatalf("resumed at skipped step %d, want %d or %d (skip-to-newest)", f.Step, steps-1, finalStep)
+		}
+		released++
+		rel = fabric.AppendFrame(nil, fabric.FrameRelease, uint32(released), nil)
+		if _, err := conn.Write(rel); err != nil {
+			t.Fatalf("release: %v", err)
+		}
+		if f.Step == finalStep {
+			return
+		}
+	}
+}
