@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build vet fmt-check lint lint-stats test bench bench-smoke bench-collectives bench-wire bench-world bench-live fabric-smoke faultline-smoke fuzz-smoke world-smoke live-smoke race cover experiments examples clean
+.PHONY: all check build vet fmt-check lint lint-stats test bench bench-smoke bench-collectives bench-wire bench-world bench-live fabric-smoke faultline-smoke fuzz-smoke world-smoke live-smoke route-smoke race cover experiments examples clean
 
 all: build vet lint test
 
-check: build vet fmt-check lint test race bench-smoke bench-collectives bench-wire bench-live fabric-smoke faultline-smoke fuzz-smoke world-smoke live-smoke
+check: build vet fmt-check lint test race bench-smoke bench-collectives bench-wire bench-live fabric-smoke faultline-smoke fuzz-smoke world-smoke live-smoke route-smoke
 
 build:
 	$(GO) build ./...
@@ -96,6 +96,14 @@ fabric-smoke:
 # prints a GOSENSEI_FAULT_SCHEDULE=<seed:spec> token that replays it.
 faultline-smoke:
 	GOSENSEI_FAULT_N=13 $(GO) test -race -count=1 -run 'TestMetamorphic|TestRepro|TestFatal' ./internal/faultline/
+
+# The adaptive-routing contract end to end: the workload-shift experiment
+# with -check requires the router to switch at least once, finish with zero
+# post-switch budget violations, and strictly beat every static backend on
+# total violations. Calibration is pinned off so the decision log is a pure
+# function of the model.
+route-smoke:
+	GOSENSEI_NO_CALIBRATE=1 $(GO) run ./cmd/experiments -route auto -shift -check -calibrate=false
 
 # A short fuzz pass over the wire-facing decoders, seeded from the checked-in
 # corpora under testdata/fuzz/.

@@ -8,6 +8,7 @@
 //	experiments -list
 //	experiments -run fig6
 //	experiments -run all -ranks 8 -cells 32 -steps 10 -calibrate
+//	experiments -route auto -shift -check
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"gosensei/internal/experiments"
 	"gosensei/internal/parallel"
 	"gosensei/internal/perfmodel"
+	"gosensei/internal/route"
 )
 
 func main() {
@@ -32,6 +34,9 @@ func main() {
 		calibrate = flag.Bool("calibrate", true, "measure kernel costs on this host for the model rows")
 		seed      = flag.Int64("seed", 1, "I/O variability seed")
 		threads   = flag.Int("threads", 0, "process thread budget shared across ranks (0 = GOMAXPROCS)")
+		routeMode = flag.String("route", "", "backend routing policy: \"auto\" for the adaptive router")
+		shift     = flag.Bool("shift", false, "run the mid-run workload-shift routing experiment (requires -route auto)")
+		check     = flag.Bool("check", false, "with -shift: exit nonzero unless the router switched, finished with zero post-switch budget violations, and beat every static backend")
 	)
 	flag.Parse()
 	if *threads > 0 {
@@ -56,6 +61,19 @@ func main() {
 		opt.Calibration = perfmodel.Calibrate()
 	}
 
+	if *shift {
+		if *routeMode != "auto" {
+			fmt.Fprintln(os.Stderr, "experiments: -shift requires -route auto")
+			os.Exit(2)
+		}
+		runShift(opt, *check)
+		return
+	}
+	if *routeMode != "" && *routeMode != "auto" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown -route policy %q (want \"auto\")\n", *routeMode)
+		os.Exit(2)
+	}
+
 	var selected []experiments.Experiment
 	if *run == "all" {
 		selected = experiments.All()
@@ -76,4 +94,41 @@ func main() {
 		}
 		fmt.Println(tab.String())
 	}
+}
+
+// runShift runs the workload-shift routing experiment, prints its table, and
+// with check enforces the smoke-test acceptance: the router must switch, must
+// finish with zero post-switch budget violations, and must strictly beat
+// every static backend on total violations.
+func runShift(opt experiments.Options, check bool) {
+	tab, err := experiments.RouteShiftTable(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: routeshift:", err)
+		os.Exit(1)
+	}
+	fmt.Println(tab.String())
+	if !check {
+		return
+	}
+	res, err := experiments.RouteShift(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: routeshift:", err)
+		os.Exit(1)
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "experiments: routeshift check failed: "+format+"\n", args...)
+		fmt.Fprintln(os.Stderr, route.FormatDecisions(res.Decisions))
+		os.Exit(1)
+	}
+	if res.Switches < 1 {
+		fail("router never switched")
+	}
+	if res.PostSwitchViolations != 0 {
+		fail("%d budget violations after the first switch", res.PostSwitchViolations)
+	}
+	if !res.BeatsAllStatic() {
+		fail("router total %d does not strictly beat statics %v", res.RouterViolations, res.StaticViolations)
+	}
+	fmt.Printf("routeshift check ok: %d switch(es) at %v, router %d violations vs statics %v, 0 post-switch\n",
+		res.Switches, res.SwitchSteps, res.RouterViolations, res.StaticViolations)
 }

@@ -5,10 +5,17 @@
 // infrastructures (histogram, autocorrelation, catalyst, libsim, adios,
 // glean).
 //
-// Example:
+// With -route auto the bridge additionally carries an adaptive histogram
+// analysis whose backend (in situ vs post hoc file replay) is re-decided
+// every step by internal/route against the declared -budget-* ceilings; the
+// router's decision log prints at exit.
+//
+// Examples:
 //
 //	oscillator -ranks 8 -cells 32 -steps 20 \
 //	    -config configs/histogram.xml -deck decks/sample.osc
+//	oscillator -ranks 4 -steps 12 -route auto \
+//	    -budget-step 0.01 -budget-storage 1048576
 package main
 
 import (
@@ -17,18 +24,22 @@ import (
 	"os"
 
 	_ "gosensei/internal/adios"
-	_ "gosensei/internal/analysis"
+	"gosensei/internal/analysis"
 	_ "gosensei/internal/catalyst"
 	"gosensei/internal/core"
 	_ "gosensei/internal/extracts"
 	"gosensei/internal/faultline"
 	_ "gosensei/internal/glean"
+	"gosensei/internal/grid"
 	"gosensei/internal/iosim"
 	_ "gosensei/internal/libsim"
+	"gosensei/internal/machine"
 	"gosensei/internal/metrics"
 	"gosensei/internal/mpi"
 	"gosensei/internal/oscillator"
 	"gosensei/internal/parallel"
+	"gosensei/internal/perfmodel"
+	"gosensei/internal/route"
 )
 
 func main() {
@@ -43,6 +54,12 @@ func main() {
 		threads = flag.Int("threads", 0, "process thread budget shared across ranks (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "print per-rank timing summary")
 		faults  = flag.String("faults", "", "fault-injection schedule <seed:spec> (see internal/faultline)")
+
+		routeMode  = flag.String("route", "", "backend routing policy: \"auto\" adds an adaptively routed histogram analysis")
+		routeBins  = flag.Int("route-bins", 16, "histogram bins for the routed analysis")
+		budgetStep = flag.Float64("budget-step", 0, "routing budget: max seconds per analysis step (0 = unlimited)")
+		budgetWire = flag.Int64("budget-wire", 0, "routing budget: max wire bytes per step (0 = unlimited)")
+		budgetStor = flag.Int64("budget-storage", 0, "routing budget: max storage bytes per step (0 = unlimited)")
 	)
 	flag.Parse()
 	if *threads > 0 {
@@ -73,6 +90,20 @@ func main() {
 		}
 		configDoc = doc
 	}
+
+	if *routeMode != "" && *routeMode != "auto" {
+		fatal(fmt.Errorf("unknown -route policy %q (want \"auto\")", *routeMode))
+	}
+	var routeDir string
+	if *routeMode == "auto" {
+		dir, err := os.MkdirTemp("", "oscillator-route-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		routeDir = dir
+	}
+	var routerLog string
 
 	err := mpi.Run(*ranks, func(c *mpi.Comm) error {
 		var oscs []oscillator.Oscillator
@@ -116,6 +147,28 @@ func main() {
 				return err
 			}
 		}
+		var router *route.Router
+		if *routeMode == "auto" {
+			cellsPerRank := cfg.GlobalCells[0] * cfg.GlobalCells[1] * cfg.GlobalCells[2] / c.Size()
+			if c.Rank() == 0 {
+				prior := perfmodel.RoutePrior(perfmodel.New(machine.Cori(), perfmodel.DefaultCalibration()),
+					c.Size(), cellsPerRank, *routeBins)
+				router = route.New(route.Config{
+					Budget: route.Budget{
+						MaxStepSeconds:  *budgetStep,
+						MaxWireBytes:    *budgetWire,
+						MaxStorageBytes: *budgetStor,
+					},
+					Eligible: []route.Backend{route.InSitu, route.PostHoc},
+					Start:    route.InSitu,
+				}, prior)
+			}
+			replay := iosim.NewHistogramReplay(c, routeDir, "data", grid.CellData, *routeBins)
+			rt := core.NewRouted(c, router, &core.WallMeter{Storage: func() int64 { return replay.BytesWritten }})
+			rt.SetRoute(route.InSitu, analysis.NewHistogram(c, "data", grid.CellData, *routeBins))
+			rt.SetRoute(route.PostHoc, replay)
+			bridge.AddAnalysis("routed-histogram", rt)
+		}
 		adaptor := oscillator.NewDataAdaptor(sim)
 		total := reg.Timer("total")
 		total.Start()
@@ -146,6 +199,9 @@ func main() {
 			return err
 		}
 		if c.Rank() == 0 {
+			if router != nil {
+				routerLog = route.FormatDecisions(router.Decisions())
+			}
 			fmt.Printf("oscillator: %d ranks, %d^3 cells, %d steps, %d analyses\n",
 				c.Size(), *cells, *steps, bridge.AnalysisCount())
 			fmt.Printf("time to solution: %s (max over ranks)\n", metrics.FormatSeconds(tot.Max))
@@ -160,6 +216,9 @@ func main() {
 		}
 		return nil
 	}, opts...)
+	if routerLog != "" {
+		fmt.Printf("route: decision log\n%s\n", routerLog)
+	}
 	if frun != nil {
 		// Printed before the error check so a fatal schedule still leaves
 		// its replay trace.

@@ -39,6 +39,7 @@ func All() []Experiment {
 		{"fig17", "Figure 17", "Nyx solver vs histogram/slice analysis", Fig17},
 		{"nyxio", "§4.2.3", "Nyx plot-file writes and executable size", NyxPosthoc},
 		{"abl-zerocopy", "§3.2 design choice", "zero-copy vs copying data adaptor", ZeroCopyAblation},
+		{"routeshift", "§5 adaptive routing", "router vs static backends under a mid-run workload shift", RouteShiftTable},
 	}
 }
 

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gosensei/internal/machine"
+	"gosensei/internal/metrics"
+	"gosensei/internal/perfmodel"
+	"gosensei/internal/route"
+)
+
+// RouteShiftResult is the workload-shift experiment's scorecard: the
+// adaptive router against every static backend choice on total budget
+// violations, plus the evidence (switch steps, decision log) the smoke
+// check asserts on.
+type RouteShiftResult struct {
+	// Steps driven and the step at which the workload shifts.
+	Steps, Shift int
+	// Budget the run was scored against.
+	Budget route.Budget
+	// RouterViolations is the adaptive router's total budget violations.
+	RouterViolations int
+	// StaticViolations is each static backend's total.
+	StaticViolations [route.NumBackends]int
+	// Switches and SwitchSteps describe the router's backend changes.
+	Switches    int
+	SwitchSteps []int
+	// PostSwitchViolations counts router violations at steps after the
+	// first switch (the smoke check requires zero).
+	PostSwitchViolations int
+	// Decisions is the router's full decision log.
+	Decisions []route.Decision
+}
+
+// BeatsAllStatic reports whether the router's total is strictly lower than
+// every static backend's.
+func (r *RouteShiftResult) BeatsAllStatic() bool {
+	for _, v := range r.StaticViolations {
+		if r.RouterViolations >= v {
+			return false
+		}
+	}
+	return true
+}
+
+// RouteShift runs the mid-run workload-shift experiment of the adaptive
+// routing study. The scenario, all costs derived from the performance model:
+//
+// Phase A (steps 0..Shift-1): the analysis consumes the full simulation
+// array. In situ fits the latency budget; shipping the full array in
+// transit busts the wire cap; writing it post hoc busts the storage cap.
+// The model's priors say exactly this, so the router starts in situ.
+//
+// Phase B (steps Shift..): the workload shifts — the simulation's in situ
+// analysis balloons to 5x its latency (busting the latency cap), while the
+// analysis renegotiates to a small extract, an 8x smaller wire footprint
+// that now fits the wire cap. The renegotiation is declared, so the prior
+// adapter re-predicts in transit's wire bytes from the model; the latency
+// balloon is NOT declared and must be discovered through observation. The
+// router eats one detection-lag violation, force-switches, and finishes
+// with zero post-switch violations — strictly fewer in total than any
+// static choice.
+func RouteShift(opt Options) (*RouteShiftResult, error) {
+	const steps, shift, extractShrink = 20, 10, 8
+
+	m := perfmodel.New(machine.Cori(), opt.Calibration)
+	cellsPerRank := opt.RealCells * opt.RealCells * opt.RealCells
+	base := perfmodel.RoutePrior(m, opt.RealRanks, cellsPerRank, opt.Bins)
+
+	tIS := base[route.InSitu].Seconds
+	wireFull := base[route.InTransit].WireBytes
+	storFull := base[route.PostHoc].StorageBytes
+	if tIS <= 0 || wireFull <= 0 || storFull <= 0 {
+		return nil, fmt.Errorf("routeshift: degenerate model prior %+v", base)
+	}
+
+	budget := route.Budget{
+		MaxStepSeconds:  2 * tIS,
+		MaxWireBytes:    wireFull / 2,
+		MaxStorageBytes: storFull / 2,
+	}
+	// Off-critical-path latencies are pinned as multiples of the in situ
+	// base so the scenario's feasibility invariants — and therefore the
+	// decision schedule — hold at every problem size; the byte footprints
+	// are the model's own. (At tiny CI sizes the raw modeled advance
+	// handshake would dwarf the in situ step and no backend would ever be
+	// latency-feasible, which would test nothing.)
+	phaseA := [route.NumBackends]route.Estimate{
+		route.InSitu:    {Seconds: tIS},
+		route.InTransit: {Seconds: 1.2 * tIS, WireBytes: wireFull},
+		route.PostHoc:   {Seconds: 0.6 * tIS, StorageBytes: storFull},
+	}
+	phaseB := phaseA
+	phaseB[route.InSitu].Seconds = 5 * tIS
+	phaseB[route.InTransit].WireBytes = wireFull / extractShrink
+	costs := func(step int, b route.Backend) route.Estimate {
+		if step < shift {
+			return phaseA[b]
+		}
+		return phaseB[b]
+	}
+
+	newRouter := func() *route.Router {
+		return route.New(route.Config{
+			Budget:       budget,
+			Eligible:     []route.Backend{route.InSitu, route.InTransit, route.PostHoc},
+			Start:        route.InSitu,
+			MinDwell:     4,
+			SwitchMargin: 0.2,
+			Alpha:        0.5,
+			PriorWeight:  4,
+		}, phaseA)
+	}
+
+	res := &RouteShiftResult{Steps: steps, Shift: shift, Budget: budget}
+
+	// Adaptive run. The loop mirrors routetest.Drive plus the prior-adapter
+	// call at the declared renegotiation.
+	r := newRouter()
+	for step := 0; step < steps; step++ {
+		if step == shift {
+			// The extract renegotiation is declared: re-predict the wire
+			// footprint from the model. The in situ balloon is not.
+			p := phaseA[route.InTransit]
+			p.WireBytes = wireFull / extractShrink
+			r.SetPrior(route.InTransit, p)
+		}
+		d := r.Decide(step)
+		cost := costs(step, d.Backend)
+		r.Observe(step, d.Backend, cost)
+		res.RouterViolations += budget.Violations(cost)
+	}
+	res.Decisions = r.Decisions()
+	res.Switches = r.Switches()
+	for _, d := range res.Decisions {
+		if d.Switched {
+			res.SwitchSteps = append(res.SwitchSteps, d.Step)
+		}
+	}
+	if len(res.SwitchSteps) > 0 {
+		first := res.SwitchSteps[0]
+		for _, d := range res.Decisions {
+			if d.Step >= first {
+				res.PostSwitchViolations += budget.Violations(costs(d.Step, d.Backend))
+			}
+		}
+	}
+
+	// Static baselines.
+	for b := route.Backend(0); b < route.NumBackends; b++ {
+		for step := 0; step < steps; step++ {
+			res.StaticViolations[b] += budget.Violations(costs(step, b))
+		}
+	}
+	return res, nil
+}
+
+// RouteShiftTable renders the experiment as a paper-style table.
+func RouteShiftTable(opt Options) (*metrics.Table, error) {
+	res, err := RouteShift(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:   "Adaptive routing under a mid-run workload shift (modeled costs, Cori)",
+		Columns: []string{"policy", "kind", "violations", "switches", "notes"},
+	}
+	names := [route.NumBackends]string{"static insitu", "static intransit", "static posthoc"}
+	for b := route.Backend(0); b < route.NumBackends; b++ {
+		t.AddRow(names[b], "model", fmt.Sprintf("%d", res.StaticViolations[b]), "0", "")
+	}
+	t.AddRow("router (auto)", "model", fmt.Sprintf("%d", res.RouterViolations),
+		fmt.Sprintf("%d", res.Switches), fmt.Sprintf("switch at %v, %d post-switch violations", res.SwitchSteps, res.PostSwitchViolations))
+	t.AddNote("budget: step<=%.3gs wire<=%dB storage<=%dB; workload shifts at step %d of %d",
+		res.Budget.MaxStepSeconds, res.Budget.MaxWireBytes, res.Budget.MaxStorageBytes, res.Shift, res.Steps)
+	t.AddNote("decision log:")
+	for _, d := range res.Decisions {
+		t.AddNote("  %s", d.String())
+	}
+	return t, nil
+}

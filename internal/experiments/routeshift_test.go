@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gosensei/internal/perfmodel"
+	"gosensei/internal/route"
+)
+
+func TestRouteShiftBeatsEveryStatic(t *testing.T) {
+	res, err := RouteShift(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches < 1 {
+		t.Fatalf("router never switched:\n%s", route.FormatDecisions(res.Decisions))
+	}
+	if !res.BeatsAllStatic() {
+		t.Fatalf("router (%d violations) does not strictly beat statics %v:\n%s",
+			res.RouterViolations, res.StaticViolations, route.FormatDecisions(res.Decisions))
+	}
+	if res.PostSwitchViolations != 0 {
+		t.Fatalf("%d post-switch violations:\n%s", res.PostSwitchViolations, route.FormatDecisions(res.Decisions))
+	}
+	// The scenario is modeled, so the exact schedule is pinned: one forced
+	// budget switch one step after the shift (the detection-lag violation).
+	if len(res.SwitchSteps) != 1 || res.SwitchSteps[0] != res.Shift+1 {
+		t.Fatalf("switch steps = %v, want [%d]:\n%s", res.SwitchSteps, res.Shift+1, route.FormatDecisions(res.Decisions))
+	}
+	if res.RouterViolations != 1 {
+		t.Fatalf("router violations = %d, want exactly the 1 detection-lag step", res.RouterViolations)
+	}
+}
+
+func TestRouteShiftDeterministic(t *testing.T) {
+	opt := DefaultOptions()
+	a, err := RouteShift(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RouteShift(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.FormatDecisions(a.Decisions) != route.FormatDecisions(b.Decisions) {
+		t.Fatal("workload-shift decision log not reproducible")
+	}
+	// Under go test, Calibrate is guarded, so even a "calibrated" run is
+	// deterministic and must match the default-calibration run exactly.
+	opt.Calibration = perfmodel.Calibrate()
+	c, err := RouteShift(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.FormatDecisions(a.Decisions) != route.FormatDecisions(c.Decisions) {
+		t.Fatal("guarded calibration changed the decision log under go test")
+	}
+}
+
+func TestRouteShiftTableRenders(t *testing.T) {
+	tab, err := RouteShiftTable(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"router (auto)", "static insitu", "static intransit", "static posthoc", "decision log:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

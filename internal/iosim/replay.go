@@ -1,0 +1,100 @@
+package iosim
+
+import (
+	"fmt"
+
+	"gosensei/internal/analysis"
+	"gosensei/internal/core"
+	"gosensei/internal/grid"
+	"gosensei/internal/mpi"
+)
+
+// HistogramReplay is the post hoc route for a routed histogram analysis:
+// Execute writes every rank's block to Dir (the traditional file-per-process
+// producer, same format as BlockWriter) and immediately replays the step —
+// rank 0 reads all blocks back and computes the histogram serially — so a
+// routed pipeline's analysis output stays complete no matter which steps the
+// router sent through storage. The serial replay is bit-identical to the in
+// situ histogram because min/max and int64 count reductions are exact and
+// the binning kernel is shared (the property posthocRun's metamorphic suite
+// already pins).
+type HistogramReplay struct {
+	Comm *mpi.Comm
+	Dir  string
+	// ArrayName, Assoc, Bins mirror analysis.NewHistogram's parameters.
+	ArrayName string
+	Assoc     grid.Association
+	Bins      int
+
+	// Results accumulates the replayed per-step results (rank 0 only).
+	Results []*analysis.HistogramResult
+	// Last is the most recent replayed result (rank 0 only).
+	Last *analysis.HistogramResult
+	// BytesWritten is the cumulative storage odometer: the total bytes all
+	// ranks wrote, identical on every rank (it is agreed collectively), so
+	// a StepMeter can difference it for per-step storage cost.
+	BytesWritten int64
+	// StepsWritten counts replayed steps.
+	StepsWritten int
+}
+
+// NewHistogramReplay builds the post hoc route writing into dir.
+func NewHistogramReplay(c *mpi.Comm, dir, array string, assoc grid.Association, bins int) *HistogramReplay {
+	return &HistogramReplay{Comm: c, Dir: dir, ArrayName: array, Assoc: assoc, Bins: bins}
+}
+
+// Execute implements core.AnalysisAdaptor: write this rank's block, agree on
+// the step's storage bytes (which doubles as the write barrier), then replay
+// the step serially on rank 0.
+func (r *HistogramReplay) Execute(d core.DataAdaptor) (bool, error) {
+	mesh, err := core.FetchArray(d, r.Assoc, r.ArrayName)
+	if err != nil {
+		return false, err
+	}
+	img, ok := mesh.(*grid.ImageData)
+	if !ok {
+		return false, fmt.Errorf("iosim: histogram replay supports structured data, got %v", mesh.Kind())
+	}
+	rank, size := 0, 1
+	if r.Comm != nil {
+		rank, size = r.Comm.Rank(), r.Comm.Size()
+	}
+	n, err := WriteBlockFile(r.Dir, rank, img, d.TimeStep(), d.Time())
+	if err != nil {
+		return false, err
+	}
+	total := n
+	if r.Comm != nil && size > 1 {
+		// The sum-reduce both totals the step's bytes and guarantees every
+		// rank's block is on disk before the read-back below.
+		recv := make([]int64, 1)
+		if err := mpi.Allreduce(r.Comm, []int64{n}, recv, mpi.OpSum); err != nil {
+			return false, err
+		}
+		total = recv[0]
+	}
+	r.BytesWritten += total
+	r.StepsWritten++
+
+	if rank == 0 {
+		mb := &grid.MultiBlock{}
+		for rk := 0; rk < size; rk++ {
+			blk, _, _, err := ReadBlockFile(r.Dir, d.TimeStep(), rk)
+			if err != nil {
+				return false, fmt.Errorf("iosim: replay step %d rank %d: %w", d.TimeStep(), rk, err)
+			}
+			mb.Blocks = append(mb.Blocks, blk)
+		}
+		h := analysis.NewHistogram(nil, r.ArrayName, r.Assoc, r.Bins)
+		res, err := h.Compute(d.TimeStep(), mb)
+		if err != nil {
+			return false, err
+		}
+		r.Last = res
+		r.Results = append(r.Results, res)
+	}
+	return true, nil
+}
+
+// Finalize implements core.AnalysisAdaptor.
+func (r *HistogramReplay) Finalize() error { return nil }

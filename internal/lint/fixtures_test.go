@@ -76,6 +76,7 @@ func TestFixtures(t *testing.T) {
 		suppressed int
 	}{
 		{"nondet", 0},
+		{"routeclock", 0},
 		{"ownership", 0},
 		{"workers", 0},
 		{"tags", 0},

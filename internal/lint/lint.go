@@ -88,6 +88,10 @@ func DefaultConfig() *Config {
 			m + "/internal/compositing",
 			m + "/internal/analysis",
 			m + "/internal/parallel",
+			// Routing decisions must replay bit-identically under fault
+			// schedules: the router and its harness are clock- and rand-free
+			// by contract (costs arrive via StepMeter observations).
+			m + "/internal/route",
 		},
 		// WritePNG times the serial encode (the paper's rank-0 bottleneck)
 		// and returns the duration for the metrics layer; pixels are

@@ -1,0 +1,70 @@
+// Package routeclock exercises the nondeterminism rule against a
+// router-shaped kernel: backend selection that reads wall clocks, draws
+// global randomness, or lets map order pick the route cannot replay under a
+// fault schedule, which is exactly what internal/route's scope entry exists
+// to forbid.
+package routeclock
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Backend and Estimate mirror the real route package's shapes.
+type Backend int
+
+type Estimate struct {
+	Seconds float64
+}
+
+// DecideTimed measures the incumbent's cost off the wall clock inside the
+// decision: two runs of the same schedule pick different routes.
+func DecideTimed(run func()) Estimate {
+	start := time.Now() // want nondeterminism
+	run()
+	return Estimate{Seconds: time.Since(start).Seconds()} // want nondeterminism
+}
+
+// JitteredProbe randomizes the probe interval from the global source, so a
+// failed backend's recovery step cannot be replayed.
+func JitteredProbe(interval int) int {
+	return interval + rand.Intn(3) // want nondeterminism
+}
+
+// CheapestByMap scans candidate predictions in map order and appends the
+// winners: ties resolve differently every run.
+func CheapestByMap(pred map[Backend]Estimate) []Backend {
+	var order []Backend
+	for b := range pred { // want nondeterminism
+		order = append(order, b)
+	}
+	return order
+}
+
+// BackoffSleep paces re-probing with a computed delay: scheduler-coupled.
+func BackoffSleep(failures int) {
+	time.Sleep(time.Duration(failures) * time.Millisecond) // want nondeterminism
+}
+
+// CheapestSorted is the sanctioned shape: collect, then sort by index so the
+// decision is a pure function of the predictions. Clean.
+func CheapestSorted(pred map[Backend]Estimate) []Backend {
+	var order []Backend
+	for b := range pred {
+		order = append(order, b)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	return order
+}
+
+// SeededTrace draws scripted costs from an explicitly seeded source — the
+// routetest idiom — and is clean.
+func SeededTrace(seed int64, steps int) []Estimate {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Estimate, steps)
+	for i := range out {
+		out[i] = Estimate{Seconds: rng.Float64()}
+	}
+	return out
+}

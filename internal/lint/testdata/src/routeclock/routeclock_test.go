@@ -1,0 +1,26 @@
+package routeclock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDwellWindow times the decision off the wall clock: a flaky test of a
+// deterministic router is as bad as an impure router.
+func TestDwellWindow(t *testing.T) {
+	start := time.Now() // want nondeterminism
+	if CheapestSorted(map[Backend]Estimate{0: {Seconds: 1}}) == nil {
+		t.Fatal("no route")
+	}
+	_ = time.Since(start) // want nondeterminism
+}
+
+// TestSeededTraceReplays drives the kernel from a fixed seed. Clean.
+func TestSeededTraceReplays(t *testing.T) {
+	a, b := SeededTrace(7, 4), SeededTrace(7, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded trace diverged at %d", i)
+		}
+	}
+}

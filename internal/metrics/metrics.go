@@ -95,12 +95,58 @@ type Event struct {
 	Seconds float64
 }
 
+// EWMA is an exponentially weighted moving average over a stream of
+// observations: the posterior half of the router's cost estimates (the prior
+// half comes from perfmodel). Alpha is the weight of the newest observation;
+// the zero value with Alpha unset averages with a default of 0.3.
+type EWMA struct {
+	// Alpha in (0, 1]: weight of the newest observation. 0 selects the
+	// default of 0.3; 1 makes the value track the last observation exactly.
+	Alpha float64
+
+	value float64
+	count int
+}
+
+// DefaultEWMAAlpha is the smoothing weight used when Alpha is left zero.
+const DefaultEWMAAlpha = 0.3
+
+func (e *EWMA) alpha() float64 {
+	if e.Alpha <= 0 || e.Alpha > 1 {
+		return DefaultEWMAAlpha
+	}
+	return e.Alpha
+}
+
+// Observe folds one observation into the average. The first observation
+// seeds the value exactly (no bias toward zero), and an observation equal to
+// the current value leaves it bit-identical: (1-a)v + av = v mathematically,
+// but not in float64, and the routing layer's determinism contract needs a
+// steady cost stream to be an exact fixed point.
+func (e *EWMA) Observe(x float64) {
+	switch {
+	case e.count == 0, x == e.value:
+		e.value = x
+	default:
+		a := e.alpha()
+		e.value = (1-a)*e.value + a*x
+	}
+	e.count++
+}
+
+// Value returns the current smoothed value (zero before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Count returns the number of observations folded in.
+func (e *EWMA) Count() int { return e.count }
+
 // Registry collects the timers and events of a single rank.
 // A Registry is safe for use by one rank (goroutine) at a time.
 type Registry struct {
 	Rank   int
 	timers map[string]*Timer
 	events []Event
+	hook   func(Event)
 }
 
 // NewRegistry returns an empty registry for the given rank.
@@ -124,18 +170,45 @@ func (r *Registry) Time(name string, step int, f func()) time.Duration {
 	t.Start()
 	f()
 	d := t.Stop()
-	r.events = append(r.events, Event{Name: name, Step: step, Seconds: d.Seconds()})
+	r.append(Event{Name: name, Step: step, Seconds: d.Seconds()})
 	return d
 }
 
 // Log records an externally measured or modeled event.
 func (r *Registry) Log(name string, step int, seconds float64) {
 	r.Timer(name).Add(time.Duration(seconds * float64(time.Second)))
-	r.events = append(r.events, Event{Name: name, Step: step, Seconds: seconds})
+	r.append(Event{Name: name, Step: step, Seconds: seconds})
+}
+
+func (r *Registry) append(e Event) {
+	r.events = append(r.events, e)
+	if r.hook != nil {
+		r.hook(e)
+	}
+}
+
+// SetEventHook installs an observer invoked synchronously for every event
+// the registry logs, in insertion order — the step-cost export seam an
+// adaptive controller (internal/route) taps without polling the event log.
+// It returns the previous hook; pass nil to uninstall.
+func (r *Registry) SetEventHook(h func(Event)) func(Event) {
+	prev := r.hook
+	r.hook = h
+	return prev
 }
 
 // Events returns the logged events in insertion order.
 func (r *Registry) Events() []Event { return r.events }
+
+// LastNamed returns the most recently logged event with the given name.
+func (r *Registry) LastNamed(name string) (Event, bool) {
+	for i := len(r.events) - 1; i >= 0; i-- {
+		if r.events[i].Name == name {
+			return r.events[i], true
+		}
+	}
+	return Event{}, false
+}
 
 // EventsNamed returns the logged events with the given name, in step order.
 func (r *Registry) EventsNamed(name string) []Event {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -227,6 +228,152 @@ func TestFormatSeconds(t *testing.T) {
 		if got := FormatSeconds(in); got != want {
 			t.Errorf("FormatSeconds(%v)=%q want %q", in, got, want)
 		}
+	}
+}
+
+func TestEventsNamedEmptyRegistry(t *testing.T) {
+	r := NewRegistry(0)
+	if evs := r.EventsNamed("anything"); len(evs) != 0 {
+		t.Fatalf("events on empty registry = %v", evs)
+	}
+	if evs := r.Events(); len(evs) != 0 {
+		t.Fatalf("Events on empty registry = %v", evs)
+	}
+	if _, ok := r.LastNamed("anything"); ok {
+		t.Fatal("LastNamed found an event in an empty registry")
+	}
+	// A name with no matching events among others behaves the same.
+	r.Log("sim", 0, 1)
+	if evs := r.EventsNamed("analysis"); len(evs) != 0 {
+		t.Fatalf("events for absent name = %v", evs)
+	}
+}
+
+func TestLastNamed(t *testing.T) {
+	r := NewRegistry(0)
+	r.Log("phase", 0, 1)
+	r.Log("other", 1, 2)
+	r.Log("phase", 2, 3)
+	e, ok := r.LastNamed("phase")
+	if !ok || e.Step != 2 || e.Seconds != 3 {
+		t.Fatalf("LastNamed = %+v ok=%v", e, ok)
+	}
+}
+
+func TestEventHook(t *testing.T) {
+	r := NewRegistry(0)
+	var seen []Event
+	prev := r.SetEventHook(func(e Event) { seen = append(seen, e) })
+	if prev != nil {
+		t.Fatal("fresh registry has a hook")
+	}
+	r.Log("a", 1, 0.5)
+	r.Time("b", 2, func() {})
+	if len(seen) != 2 || seen[0].Name != "a" || seen[1].Name != "b" || seen[1].Step != 2 {
+		t.Fatalf("hook saw %v", seen)
+	}
+	// Uninstalling stops delivery; the event log itself is unaffected.
+	r.SetEventHook(nil)
+	r.Log("c", 3, 1)
+	if len(seen) != 2 {
+		t.Fatalf("hook fired after uninstall: %v", seen)
+	}
+	if len(r.Events()) != 3 {
+		t.Fatalf("events = %v", r.Events())
+	}
+}
+
+func TestSummarizeEmptyTimerAcrossRanks(t *testing.T) {
+	// A timer nobody ever started must summarize to zeros on every rank, not
+	// error — the per-step router summarizes names that may not have fired
+	// yet on the first step.
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		r := NewRegistry(c.Rank())
+		s, err := Summarize(c, r, "never-started")
+		if err != nil {
+			return err
+		}
+		if s.Min != 0 || s.Max != 0 || s.Sum != 0 || s.Mean != 0 {
+			t.Errorf("summary of empty timer = %+v", s)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEventsMultiRank(t *testing.T) {
+	// Three ranks, one of them empty: the merge is sorted by (step, name),
+	// stable within ties, and tolerates empty registries anywhere in the
+	// argument list.
+	a, b, c := NewRegistry(0), NewRegistry(1), NewRegistry(2)
+	a.Log("sim", 0, 1)
+	a.Log("analysis", 1, 2)
+	c.Log("analysis", 0, 3)
+	c.Log("sim", 1, 4)
+	all := MergeEvents(a, b, c)
+	if len(all) != 4 {
+		t.Fatalf("merged %d events, want 4: %v", len(all), all)
+	}
+	wantOrder := []struct {
+		step int
+		name string
+	}{{0, "analysis"}, {0, "sim"}, {1, "analysis"}, {1, "sim"}}
+	for i, w := range wantOrder {
+		if all[i].Step != w.step || all[i].Name != w.name {
+			t.Fatalf("merged[%d] = %+v, want step=%d name=%s", i, all[i], w.step, w.name)
+		}
+	}
+	if got := MergeEvents(); len(got) != 0 {
+		t.Fatalf("merge of nothing = %v", got)
+	}
+	if got := MergeEvents(NewRegistry(0), NewRegistry(1)); len(got) != 0 {
+		t.Fatalf("merge of empty registries = %v", got)
+	}
+}
+
+func TestEWMASeedsAndSmoothes(t *testing.T) {
+	var e EWMA
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Fatalf("first observation must seed exactly, got %v", e.Value())
+	}
+	e.Observe(20)
+	a := DefaultEWMAAlpha
+	want := (1-a)*10 + a*20
+	if e.Value() != want {
+		t.Fatalf("value = %v, want %v", e.Value(), want)
+	}
+	if e.Count() != 2 {
+		t.Fatalf("count = %d", e.Count())
+	}
+	last := EWMA{Alpha: 1}
+	last.Observe(5)
+	last.Observe(9)
+	if last.Value() != 9 {
+		t.Fatalf("alpha=1 must track the last observation, got %v", last.Value())
+	}
+}
+
+func TestEWMAEqualCostWindowOrderInsensitive(t *testing.T) {
+	// Property: on a window whose observations are all the same cost, the
+	// smoothed value equals that cost for every window length, permutation
+	// (trivially), and alpha — so two ranks replaying the same per-step cost
+	// stream in any interleaving agree bit-for-bit.
+	f := func(cost float64, n uint8, alphaBits uint8) bool {
+		if math.IsNaN(cost) || math.IsInf(cost, 0) {
+			return true
+		}
+		alpha := float64(alphaBits%100+1) / 100 // (0, 1]
+		e := EWMA{Alpha: alpha}
+		for i := 0; i < int(n%64)+1; i++ {
+			e.Observe(cost)
+		}
+		return e.Value() == cost
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(77))}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -21,6 +21,9 @@ import (
 	"image/color"
 	"image/png"
 	"math"
+	"os"
+	"sync/atomic"
+	"testing"
 	"time"
 
 	"gosensei/internal/compositing"
@@ -65,9 +68,33 @@ func DefaultCalibration() Calibration {
 	}
 }
 
+// calibrations counts how many times Calibrate actually measured (as opposed
+// to returning DefaultCalibration via the guard).
+var calibrations atomic.Int64
+
+// Calibrations returns how many times Calibrate has measured kernels in this
+// process. Tier-1 tests assert it stays zero: deterministic tests must see
+// only DefaultCalibration.
+func Calibrations() int64 { return calibrations.Load() }
+
+// noCalibrate reports whether measurement is disabled: explicitly via the
+// GOSENSEI_NO_CALIBRATE environment variable, or implicitly because the
+// process is a `go test` binary. Previously deterministic tests avoided
+// Calibrate only by convention; the guard makes wall-clock-seeded constants
+// unreachable from tier 1.
+func noCalibrate() bool {
+	return os.Getenv("GOSENSEI_NO_CALIBRATE") != "" || testing.Testing()
+}
+
 // Calibrate measures the kernel costs on this host. It runs for a few
-// milliseconds.
+// milliseconds. Under `go test` or GOSENSEI_NO_CALIBRATE it returns
+// DefaultCalibration without measuring, so modeled numbers in tests never
+// depend on host timing.
 func Calibrate() Calibration {
+	if noCalibrate() {
+		return DefaultCalibration()
+	}
+	calibrations.Add(1)
 	c := DefaultCalibration()
 
 	// Oscillator evaluation.

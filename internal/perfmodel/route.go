@@ -1,0 +1,45 @@
+package perfmodel
+
+import (
+	"gosensei/internal/route"
+)
+
+// RoutePrior derives the route scheduler's per-backend prior estimates from
+// the model, for a histogram-style analysis over p ranks with cellsPerRank
+// cells of 8 bytes each. This is the paper's cost comparison folded into
+// three numbers per route: what one step costs in critical-path seconds,
+// wire bytes, and storage bytes before any observation has been made.
+func RoutePrior(m *Model, p, cellsPerRank, bins int) [route.NumBackends]route.Estimate {
+	bytesPerRank := int64(cellsPerRank) * 8
+	totalBytes := bytesPerRank * int64(p)
+
+	var prior [route.NumBackends]route.Estimate
+
+	// In situ: the analysis runs inside the step; no bytes leave the node.
+	prior[route.InSitu] = route.Estimate{
+		Seconds: m.HistogramStepTime(p, cellsPerRank, bins),
+	}
+
+	// In transit: the step pays the advance handshake plus the data ship;
+	// every rank's array crosses the staging fabric. The analysis itself
+	// runs on the endpoint, off the simulation's critical path.
+	prior[route.InTransit] = route.Estimate{
+		Seconds:   m.ADIOSAdvanceTime(p) + m.ADIOSTransferTime(bytesPerRank),
+		WireBytes: totalBytes,
+	}
+
+	// Post hoc: a file-per-process write now, analysis deferred to a replay.
+	// The critical path pays one metadata op and the aggregate write; every
+	// rank's block lands on storage.
+	writeBW := m.M.IO.FilePerProcessBandwidth
+	var writeSeconds float64
+	if writeBW > 0 {
+		writeSeconds = float64(totalBytes) / writeBW
+	}
+	prior[route.PostHoc] = route.Estimate{
+		Seconds:      m.M.IO.MetadataOpSeconds + writeSeconds,
+		StorageBytes: totalBytes,
+	}
+
+	return prior
+}
